@@ -1,0 +1,41 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Each benchmark regenerates one of the paper's tables or figures: it runs
+the experiment under ``pytest-benchmark`` timing, prints the same
+rows/series the paper reports, writes them to ``benchmarks/results/``,
+and asserts the qualitative *shape* findings (who wins, by roughly what
+factor, where crossovers fall).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_result(results_dir):
+    """Returns a writer: record(name, text) prints and persists output."""
+
+    def record(name: str, text: str) -> None:
+        print()
+        print(f"===== {name} =====")
+        print(text)
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return record

@@ -1,0 +1,63 @@
+"""Figure 10: how hybrid plans use the two index formats.
+
+Under the hybrid design, the paper reports (a) the percentage of plan
+leaf nodes that access columnstore vs B+ tree indexes, averaged over the
+workload, and (b) the number of queries whose plan uses *both* formats
+("hybrid plans").
+
+Findings reproduced:
+
+* Every workload's plans use a mix of the two formats (neither
+  percentage is ~0 across the board).
+* Selective workloads (cust1/cust3 analogs) lean on B+ trees; the
+  scan-heavy cust2 analog leans on columnstores — the Figure 10 pattern.
+* Many individual plans reference both formats at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figure9 import evaluate_workload
+from repro.bench.reporting import format_table
+from repro.bench.workload_setups import all_read_only_factories
+
+# Reuse the session-scoped evaluations fixture from the Figure 9 module.
+from test_fig9_speedup_distribution import evaluations  # noqa: F401
+
+
+def test_fig10_plan_composition(benchmark, record_result, evaluations):
+    def summarize():
+        rows = []
+        for name, evaluation in evaluations.items():
+            rows.append((
+                name,
+                round(evaluation.csi_leaf_pct, 1),
+                round(evaluation.btree_leaf_pct, 1),
+                evaluation.hybrid_plan_count,
+                len(evaluation.cpu_ms["hybrid"]),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    table = format_table(
+        ["workload", "CSI leaf %", "B+ tree leaf %", "hybrid plans",
+         "#queries"],
+        rows,
+        title="Figure 10: leaf-node index usage under the hybrid design")
+    record_result("fig10_plan_composition", table)
+
+    by_name = {row[0]: row for row in rows}
+    for name, (_, csi_pct, btree_pct, hybrid_plans, n_queries) in \
+            by_name.items():
+        # Both formats appear in the workload's plans.
+        assert csi_pct + btree_pct == pytest.approx(100.0, abs=0.2)
+        assert csi_pct > 0, f"{name}: no columnstore leaves"
+        assert btree_pct > 0, f"{name}: no B+ tree leaves"
+    # Selective workloads lean on B+ trees relative to the scan-heavy one.
+    assert by_name["cust2"][1] > by_name["cust1"][1]  # CSI share
+    # Hybrid (both-formats-in-one-plan) queries exist in the join-heavy
+    # workloads, echoing the figure's secondary axis.
+    assert by_name["TPC-DS"][3] > 0
+    total_hybrid_plans = sum(row[3] for row in rows)
+    assert total_hybrid_plans >= 10

@@ -1,0 +1,191 @@
+"""Figure 11: CH benchmark (TPC-C + analytic queries) — median-latency
+speedup of the hybrid design over B+ tree-only, under Snapshot (SI) and
+Serializable (SR) isolation.
+
+Setup mirrors Section 5.2.2: C (transactions) and H (analytics) share
+the data; resource pools affinitize 10 cores to C and 30 to H; clients
+run in a closed loop; we report the median latency per query/transaction
+type (a columnstore-only design is omitted, as in the paper, because it
+makes the C transactions unusably slow).
+
+Findings reproduced:
+
+* The hybrid design significantly speeds up the H queries (several by
+  >5-10x) while moderately slowing the write transactions (NewOrder,
+  Payment) — speedups below 1.
+* SR gives overall better latency improvements for read-only queries
+  than SI, because SI's version chains make reads slightly more
+  expensive.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+import pytest
+
+from repro.bench.reporting import format_table, speedup_histogram
+from repro.engine.concurrency import ConcurrencySimulator, StatementProfile
+from repro.engine.executor import Executor
+from repro.engine.locks import SERIALIZABLE, SNAPSHOT
+from repro.storage.database import Database
+from repro.workloads.ch import (
+    apply_ch_btree_design,
+    apply_ch_hybrid_design,
+    ch_analytic_queries,
+    ch_point_queries,
+    generate_ch,
+)
+from repro.workloads.tpcc import TpccTransactionGenerator
+
+N_WAREHOUSES = 2
+N_C_CLIENTS = 19
+N_H_CLIENTS = 1
+POOLS = {"C": 10, "H": 30}
+TXN_TYPES = ("NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel")
+
+
+def build_executor(design: str) -> Executor:
+    db = Database()
+    generate_ch(db, n_warehouses=N_WAREHOUSES)
+    if design == "hybrid":
+        apply_ch_hybrid_design(db)
+    else:
+        apply_ch_btree_design(db)
+    return Executor(db)
+
+
+@pytest.fixture(scope="module")
+def profiles() -> Dict[str, Dict[str, StatementProfile]]:
+    """Solo costs: design -> tag -> profile template (without resources)."""
+    out: Dict[str, Dict[str, StatementProfile]] = {}
+    for design in ("btree", "hybrid"):
+        executor = build_executor(design)
+        tags: Dict[str, StatementProfile] = {}
+        # TPC-C transactions: average a few instances of each type.
+        generator = TpccTransactionGenerator(N_WAREHOUSES, seed=91)
+        sums: Dict[str, list] = {t: [] for t in TXN_TYPES}
+        while any(len(v) < 3 for v in sums.values()):
+            txn = generator.next_transaction()
+            if len(sums[txn.name]) >= 5:
+                continue
+            total = 0.0
+            for sql in txn.statements:
+                total += executor.execute(sql).metrics.elapsed_ms
+            sums[txn.name].append(total)
+        for name, values in sums.items():
+            tags[name] = StatementProfile(
+                name, cpu_ms=sum(values) / len(values), dop=1,
+                is_write=name in ("NewOrder", "Payment", "Delivery"),
+                pool="C")
+        # H queries.
+        for name, sql in ch_analytic_queries() + ch_point_queries(
+                N_WAREHOUSES):
+            result = executor.execute(sql, concurrent_queries=2)
+            tags[name] = StatementProfile(
+                name, cpu_ms=max(1e-3, result.metrics.cpu_ms),
+                dop=max(1, result.metrics.dop), is_write=False, pool="H")
+        out[design] = tags
+    return out
+
+
+def run_mix(profiles_for_design: Dict[str, StatementProfile],
+            isolation: str, seed: int):
+    rng = random.Random(seed)
+    h_tags = [t for t, p in profiles_for_design.items() if p.pool == "H"]
+    generator = TpccTransactionGenerator(N_WAREHOUSES, seed=seed)
+
+    def c_client():
+        txn = generator.next_transaction()
+        template = profiles_for_design[txn.name]
+        # Row-level X locks: a handful of key buckets out of a large
+        # space, so conflicts with scans are possible but rare — the
+        # paper's row/range locking at TPC-C scale.
+        resources = (("tpcc", txn.warehouse, txn.district,
+                      rng.randrange(300)),)
+        return StatementProfile(
+            template.tag, cpu_ms=template.cpu_ms, dop=1,
+            is_write=template.is_write,
+            write_resources=resources if template.is_write else (),
+            read_resources=() if template.is_write else resources,
+            pool="C")
+
+    h_cycle = [0]
+
+    def h_client():
+        # Cycle deterministically so every H query type gets sampled.
+        tag = h_tags[h_cycle[0] % len(h_tags)]
+        h_cycle[0] += 1
+        template = profiles_for_design[tag]
+        # Under SERIALIZABLE these become held S range locks.
+        resources = tuple(
+            ("tpcc", rng.randrange(N_WAREHOUSES), rng.randrange(10),
+             rng.randrange(300))
+            for _ in range(3))
+        return StatementProfile(
+            tag, cpu_ms=template.cpu_ms, dop=template.dop,
+            is_write=False, read_resources=resources, pool="H")
+
+    simulator = ConcurrencySimulator(n_cores=40, isolation=isolation,
+                                     pool_cores=POOLS)
+    clients = [c_client] * N_C_CLIENTS + [h_client] * N_H_CLIENTS
+    return simulator.run(clients, duration_ms=1e9, max_statements=3000)
+
+
+def test_fig11_ch_isolation_levels(benchmark, record_result, profiles):
+    def experiment():
+        medians = {}
+        for design in ("btree", "hybrid"):
+            for isolation in (SNAPSHOT, SERIALIZABLE):
+                result = run_mix(profiles[design], isolation, seed=17)
+                medians[(design, isolation)] = {
+                    tag: result.median_latency(tag)
+                    for tag in result.tags()
+                }
+        return medians
+
+    medians = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    rows = []
+    speedups = {SNAPSHOT: {}, SERIALIZABLE: {}}
+    tags = sorted(medians[("btree", SNAPSHOT)])
+    for tag in tags:
+        row = [tag]
+        for isolation in (SNAPSHOT, SERIALIZABLE):
+            base = medians[("btree", isolation)].get(tag)
+            hybrid = medians[("hybrid", isolation)].get(tag)
+            if base and hybrid and hybrid > 0:
+                speedup = base / hybrid
+            else:
+                speedup = float("nan")
+            speedups[isolation][tag] = speedup
+            row.append(speedup)
+        rows.append(tuple(row))
+    table = format_table(
+        ["query/txn", "SI speedup", "SR speedup"], rows,
+        title="Figure 11: hybrid vs B+ tree-only median-latency speedup "
+              "(CH benchmark)")
+    si_hist = speedup_histogram(
+        [s for s in speedups[SNAPSHOT].values() if s == s])
+    sr_hist = speedup_histogram(
+        [s for s in speedups[SERIALIZABLE].values() if s == s])
+    summary = (f"\nSI buckets: {si_hist}\nSR buckets: {sr_hist}")
+    record_result("fig11_ch_mixed", table + summary)
+
+    analytic_tags = [name for name, _ in ch_analytic_queries()]
+    # H queries speed up under hybrid; several by a large factor.
+    for isolation in (SNAPSHOT, SERIALIZABLE):
+        gains = [speedups[isolation][t] for t in analytic_tags
+                 if t in speedups[isolation]]
+        assert sum(1 for g in gains if g > 1.5) >= len(gains) * 0.5
+        assert max(gains) > 5
+    # Write transactions slow down moderately (speedup <= ~1).
+    for txn in ("NewOrder", "Payment"):
+        for isolation in (SNAPSHOT, SERIALIZABLE):
+            assert speedups[isolation][txn] < 1.2
+            assert speedups[isolation][txn] > 0.3  # moderate, not broken
+    # SR yields overall better read-query latency improvements than SI.
+    sr_gain = sum(speedups[SERIALIZABLE][t] for t in analytic_tags)
+    si_gain = sum(speedups[SNAPSHOT][t] for t in analytic_tags)
+    assert sr_gain >= si_gain * 0.95

@@ -1,0 +1,109 @@
+"""Figure 13 (Appendix A.2): B+ tree/CSI crossover selectivity vs the
+number of concurrent queries.
+
+The same Q1 executes from N concurrent clients (1..256) on a hot
+database, under the B+ tree design and the columnstore design; for each
+N we find the selectivity where their median latencies cross.
+
+Findings reproduced:
+
+* With few concurrent queries there is spare CPU, so the
+  resource-hungry parallel CSI scans are unaffected and the crossover
+  sits low.
+* As concurrency grows, the DOP-40 columnstore scans contend with each
+  other for cores while the serial B+ tree plans keep a core each, so
+  the crossover *rises*.
+* Beyond the point where even serial B+ tree plans queue for CPU
+  (N >> cores), latency is governed by total CPU per query, and the
+  crossover settles at the CPU-efficiency crossover. (The paper also
+  observes a mild decline at 256 queries; our symmetric
+  processor-sharing model reproduces the plateau, not the final dip —
+  see EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import find_crossover, format_table
+from repro.engine.concurrency import ConcurrencySimulator, StatementProfile
+from repro.engine.executor import Executor
+from repro.storage.database import Database
+from repro.workloads.synthetic import make_uniform_table, q1_scan
+
+N_ROWS = 200_000
+SELECTIVITIES = (0.02, 0.05, 0.1, 0.3, 0.6, 1.0, 2.0, 5.0)
+CLIENT_COUNTS = (1, 4, 8, 16, 32, 64, 128, 256)
+N_CORES = 40
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    """(design, selectivity) -> solo StatementProfile."""
+    db_btree = Database()
+    make_uniform_table(db_btree, "micro", N_ROWS, 1, seed=5)
+    db_btree.table("micro").set_primary_btree(["col1"])
+    db_csi = Database()
+    make_uniform_table(db_csi, "micro", N_ROWS, 1, seed=5)
+    db_csi.table("micro").set_primary_columnstore()
+    out = {}
+    for design, executor in (("btree", Executor(db_btree)),
+                             ("csi", Executor(db_csi))):
+        for selectivity in SELECTIVITIES:
+            result = executor.execute(q1_scan(selectivity))
+            out[(design, selectivity)] = StatementProfile(
+                f"{design}@{selectivity}",
+                cpu_ms=max(1e-3, result.metrics.cpu_ms),
+                dop=max(1, result.metrics.dop))
+    return out
+
+
+def median_latency(profile: StatementProfile, n_clients: int) -> float:
+    simulator = ConcurrencySimulator(n_cores=N_CORES)
+    result = simulator.run(
+        [lambda p=profile: p] * n_clients,
+        duration_ms=1e9,
+        max_statements=max(3 * n_clients, 30))
+    return result.median_latency()
+
+
+def test_fig13_concurrency_crossover(benchmark, record_result, profiles):
+    def sweep():
+        crossovers = {}
+        for n_clients in CLIENT_COUNTS:
+            btree_latency = [
+                median_latency(profiles[("btree", s)], n_clients)
+                for s in SELECTIVITIES
+            ]
+            csi_latency = [
+                median_latency(profiles[("csi", s)], n_clients)
+                for s in SELECTIVITIES
+            ]
+            crossovers[n_clients] = find_crossover(
+                list(SELECTIVITIES), btree_latency, csi_latency)
+        return crossovers
+
+    crossovers = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(n, crossovers[n] if crossovers[n] is not None else ">5")
+            for n in CLIENT_COUNTS]
+    table = format_table(
+        ["concurrent queries", "crossover selectivity %"], rows,
+        title="Figure 13: B+ tree/CSI crossover vs concurrency "
+              f"({N_ROWS} rows, {N_CORES} cores)")
+    record_result("fig13_concurrency", table)
+
+    values = [crossovers[n] for n in CLIENT_COUNTS]
+    assert all(v is not None for v in values), "no crossover found"
+    low_concurrency = values[0]
+    peak = max(values)
+    high_concurrency = values[-1]
+    # The crossover rises strongly with moderate concurrency (the paper's
+    # main Figure 13 effect): contended parallel CSI scans lose their
+    # latency edge while serial B+ tree plans keep a core each.
+    assert peak > low_concurrency * 5
+    # At very high concurrency the crossover stops rising and settles at
+    # the CPU-efficiency crossover. (The paper additionally observes a
+    # mild *decline* at 256 queries; our symmetric processor-sharing
+    # model reproduces the saturation plateau but not the final dip —
+    # see EXPERIMENTS.md.)
+    assert high_concurrency <= peak * 1.01

@@ -1,0 +1,151 @@
+"""Figure 1: execution and CPU time for hot and cold runs of Q1
+(``SELECT sum(col1) FROM table WHERE col1 < X``) with varying selectivity,
+primary B+ tree vs primary columnstore.
+
+Paper findings reproduced here:
+
+* At low selectivity the B+ tree beats the CSI by 1-2 orders of magnitude
+  in execution time and up to 3 orders in CPU time.
+* The B+ tree plan switches from serial to parallel at ~0.2% selectivity,
+  producing a *dip* in execution time and a *jump* in CPU time.
+* Execution-time crossover lands well below 10% hot; the cold crossover
+  is higher than the hot one (paper: ~10% cold on their HDD).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import find_crossover, format_table
+from repro.engine.executor import Executor
+from repro.storage.database import Database
+from repro.workloads.synthetic import (
+    PAPER_SELECTIVITIES_PCT,
+    make_uniform_table,
+    q1_scan,
+)
+
+N_ROWS = 500_000
+
+
+@pytest.fixture(scope="module")
+def designs():
+    db_btree = Database()
+    make_uniform_table(db_btree, "micro", N_ROWS, 1, seed=5)
+    db_btree.table("micro").set_primary_btree(["col1"])
+    db_csi = Database()
+    make_uniform_table(db_csi, "micro", N_ROWS, 1, seed=5)
+    db_csi.table("micro").set_primary_columnstore()
+    return Executor(db_btree), Executor(db_csi)
+
+
+def sweep(designs):
+    ex_btree, ex_csi = designs
+    rows = []
+    series = {key: [] for key in
+              ("bt_hot", "csi_hot", "bt_cold", "csi_cold",
+               "bt_cpu", "csi_cpu")}
+    for sel in PAPER_SELECTIVITIES_PCT:
+        sql = q1_scan(sel)
+        bt_hot = ex_btree.execute(sql)
+        csi_hot = ex_csi.execute(sql)
+        bt_cold = ex_btree.execute(sql, cold=True)
+        csi_cold = ex_csi.execute(sql, cold=True)
+        series["bt_hot"].append(bt_hot.metrics.elapsed_ms)
+        series["csi_hot"].append(csi_hot.metrics.elapsed_ms)
+        series["bt_cold"].append(bt_cold.metrics.elapsed_ms)
+        series["csi_cold"].append(csi_cold.metrics.elapsed_ms)
+        series["bt_cpu"].append(bt_hot.metrics.cpu_ms)
+        series["csi_cpu"].append(csi_hot.metrics.cpu_ms)
+        rows.append((
+            sel, bt_cold.metrics.elapsed_ms, csi_cold.metrics.elapsed_ms,
+            bt_hot.metrics.elapsed_ms, csi_hot.metrics.elapsed_ms,
+            bt_hot.metrics.cpu_ms, csi_hot.metrics.cpu_ms,
+            bt_hot.metrics.dop,
+        ))
+    return rows, series
+
+
+def last_crossover(x, a, b):
+    """Final crossing of a over b (after the DOP dip)."""
+    last = None
+    for i in range(1, len(x)):
+        if a[i - 1] < b[i - 1] and a[i] >= b[i]:
+            last = find_crossover(x[i - 1:], a[i - 1:], b[i - 1:])
+    return last
+
+
+def test_fig1_selectivity_sweep(benchmark, record_result, designs):
+    rows, series = benchmark.pedantic(
+        lambda: sweep(designs), rounds=1, iterations=1)
+    sels = list(PAPER_SELECTIVITIES_PCT)
+
+    table = format_table(
+        ["sel%", "btree cold", "CSI cold", "btree hot", "CSI hot",
+         "btree CPU", "CSI CPU", "bt DOP"],
+        rows,
+        title="Figure 1: Q1 execution/CPU time (ms) vs selectivity, "
+              f"{N_ROWS} rows",
+    )
+    hot_cross = last_crossover(sels, series["bt_hot"], series["csi_hot"])
+    cold_cross = last_crossover(sels, series["bt_cold"], series["csi_cold"])
+    cpu_cross = last_crossover(sels, series["bt_cpu"], series["csi_cpu"])
+    summary = (
+        f"\nhot exec crossover: {hot_cross:.2f}% (paper: <~0.7%)"
+        f"\ncold exec crossover: {cold_cross:.2f}% (paper: ~10%)"
+        f"\nCPU crossover: {cpu_cross:.2f}% (paper: ~1%)"
+    )
+    record_result("fig1_selectivity", table + summary)
+
+    # -- shape assertions ------------------------------------------------
+    # B+ tree wins by >=1 order of magnitude at very low selectivity.
+    low = sels.index(0.001)
+    assert series["csi_hot"][low] / series["bt_hot"][low] > 10
+    assert series["csi_cpu"][low] / series["bt_cpu"][low] > 30
+    # CSI wins by >=1 order of magnitude at 100% (exec and CPU).
+    assert series["bt_hot"][-1] / series["csi_hot"][-1] > 10
+    assert series["bt_cpu"][-1] / series["csi_cpu"][-1] > 10
+    # Crossovers land in the paper's neighbourhoods.
+    assert 0.1 <= hot_cross <= 5.0
+    assert 2.0 <= cold_cross <= 20.0
+    assert cold_cross > hot_cross  # slower storage favours the B+ tree
+    assert 0.1 <= cpu_cross <= 3.0
+    # The serial->parallel switch produces a dip in execution time and a
+    # jump in CPU time (paper: DOP 1 -> 40 at 0.2%).
+    dops = [row[7] for row in rows]
+    switch = next(i for i, d in enumerate(dops) if d > 1)
+    assert series["bt_hot"][switch] < series["bt_hot"][switch - 1]
+    assert series["bt_cpu"][switch] > series["bt_cpu"][switch - 1]
+
+
+def test_fig1_storage_slowdown_raises_crossover(benchmark, record_result):
+    """Section 3.2.3 ablation: 'the slower the storage, the higher is the
+    cross-over point'."""
+    from repro.engine.costs import DEFAULT_COST_MODEL
+
+    def run(slowdown):
+        db_b = Database(cost_model=DEFAULT_COST_MODEL.scaled_storage(slowdown))
+        make_uniform_table(db_b, "micro", 200_000, 1, seed=5)
+        db_b.table("micro").set_primary_btree(["col1"])
+        db_c = Database(cost_model=DEFAULT_COST_MODEL.scaled_storage(slowdown))
+        make_uniform_table(db_c, "micro", 200_000, 1, seed=5)
+        db_c.table("micro").set_primary_columnstore()
+        ex_b, ex_c = Executor(db_b), Executor(db_c)
+        sels = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0, 10.0, 15.0, 20.0, 40.0]
+        bt = [ex_b.execute(q1_scan(s), cold=True).metrics.elapsed_ms
+              for s in sels]
+        csi = [ex_c.execute(q1_scan(s), cold=True).metrics.elapsed_ms
+               for s in sels]
+        return last_crossover(sels, bt, csi)
+
+    def experiment():
+        return {slowdown: run(slowdown) for slowdown in (1.0, 8.0)}
+
+    crossovers = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    record_result(
+        "fig1_storage_ablation",
+        format_table(["storage slowdown", "cold crossover sel%"],
+                     sorted(crossovers.items()),
+                     title="Ablation: slower storage raises the cold "
+                           "B+ tree/CSI crossover"))
+    assert crossovers[8.0] > crossovers[1.0]

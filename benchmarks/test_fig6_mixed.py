@@ -1,0 +1,170 @@
+"""Figure 6: mixed workload (updates + analytical scans, 10 threads).
+
+The paper mixes Q4 updates (TOP 10 by shipdate) with Q5 scan queries at
+scan percentages 0..5%, executed by 10 concurrent threads under Read
+Committed, on three designs:
+
+(A) primary B+ tree (orderkey, linenumber) + secondary B+ tree (shipdate);
+(B) design A plus a secondary columnstore;
+(C) primary columnstore + secondary B+ tree (shipdate).
+
+Findings reproduced:
+
+* With no scans, the B+ tree-only design (A) is the cheapest and the
+  primary columnstore (C) is far slower (update amplification).
+* From 1% scans onward, the scans dominate resource consumption and the
+  hybrid design (B) — cheap-ish updates plus columnstore scans — has the
+  best average workload execution time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.runner import profile_statement
+from repro.engine.concurrency import ConcurrencySimulator, StatementProfile
+from repro.engine.executor import Executor
+from repro.engine.locks import READ_COMMITTED, range_bucket
+from repro.storage.database import Database
+from repro.workloads.tpch import (
+    generate_tpch,
+    q4_update,
+    q5_scan,
+    random_ship_date,
+)
+
+SCALE = 0.5
+N_THREADS = 10
+SCAN_PERCENTS = (0, 1, 2, 3, 4, 5)
+#: Q5's shipdate window, widened from the paper's 1 day so the analytic
+#: query stays "long-running and resource-intensive" at this scale.
+SCAN_WINDOW_DAYS = 1460
+
+
+def q5_window(ship_date: str) -> str:
+    return (
+        "SELECT sum(l_quantity) sum_quantity, "
+        "sum(l_extendedprice * (1 - l_discount)) revenue "
+        f"FROM lineitem WHERE l_shipdate BETWEEN '{ship_date}' "
+        f"AND DATEADD(day, {SCAN_WINDOW_DAYS}, '{ship_date}')"
+    )
+
+
+def build(design: str) -> Executor:
+    db = Database()
+    generate_tpch(db, scale=SCALE, seed=13)
+    lineitem = db.table("lineitem")
+    if design in ("A", "B"):
+        lineitem.set_primary_btree(["l_orderkey", "l_linenumber"])
+        lineitem.create_secondary_btree("ix_shipdate", ["l_shipdate"])
+    if design == "B":
+        lineitem.create_secondary_columnstore("csi_lineitem",
+                                              rowgroup_size=4096)
+    if design == "C":
+        lineitem.set_primary_columnstore(rowgroup_size=4096)
+        lineitem.create_secondary_btree("ix_shipdate", ["l_shipdate"])
+    return Executor(db)
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    """Solo-measured costs per design per statement type."""
+    rng = random.Random(71)
+    out = {}
+    for design in ("A", "B", "C"):
+        executor = build(design)
+        dates = ["1992-06-01", "1993-03-01", "1994-06-15"]
+        update_costs = []
+        scan_costs = []
+        for date in dates:
+            upd = executor.execute(q4_update(10, date).replace(
+                "l_shipdate = ", "l_shipdate >= "))
+            update_costs.append(upd.metrics.elapsed_ms)
+            # Plan the scan knowing N_THREADS queries share the server
+            # (the paper's 10-thread closed loop): DOP = cores / threads.
+            scan = executor.execute(q5_window(date),
+                                    concurrent_queries=N_THREADS)
+            scan_costs.append((scan.metrics.cpu_ms, scan.metrics.dop))
+        out[design] = {
+            "update_ms": sum(update_costs) / len(update_costs),
+            "scan_cpu_ms": sum(c for c, _ in scan_costs) / len(scan_costs),
+            "scan_dop": max(d for _, d in scan_costs),
+        }
+    return out
+
+
+def make_clients(design_profile, scan_percent, seed):
+    """Closed-loop clients issuing scans at exactly ``scan_percent`` of
+    statements (deterministic interleave — the paper's random selection
+    converges to the same mix over its 6-hour runs)."""
+    rng = random.Random(seed)
+    period = int(round(100 / scan_percent)) if scan_percent else 0
+
+    def make_client(offset):
+        counter = [offset]
+
+        def client():
+            counter[0] += 1
+            if period and counter[0] % period == 0:
+                return StatementProfile(
+                    "scan", cpu_ms=design_profile["scan_cpu_ms"],
+                    dop=design_profile["scan_dop"],
+                    read_resources=(("lineitem", "range",
+                                     rng.randrange(12)),))
+            day = rng.randrange(8035, 10500)
+            return StatementProfile(
+                "update", cpu_ms=design_profile["update_ms"], dop=1,
+                is_write=True,
+                write_resources=(("lineitem", "range",
+                                  range_bucket(day, 30)),))
+
+        return client
+
+    return [make_client(i * 7) for i in range(N_THREADS)]
+
+
+def test_fig6_mixed_workload(benchmark, record_result, profiles):
+    def sweep():
+        rows = []
+        means = {design: [] for design in ("A", "B", "C")}
+        for scan_percent in SCAN_PERCENTS:
+            row = [f"scan {scan_percent}%"]
+            for design in ("A", "B", "C"):
+                simulator = ConcurrencySimulator(
+                    n_cores=40, isolation=READ_COMMITTED)
+                result = simulator.run(
+                    make_clients(profiles[design], scan_percent,
+                                 seed=100 + scan_percent),
+                    duration_ms=1e9, max_statements=1200)
+                mean = result.mean_latency()
+                means[design].append(mean)
+                row.append(mean)
+            rows.append(tuple(row))
+        return rows, means
+
+    rows, means = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["mix", "(A) btree ms", "(B) btree+sec CSI ms", "(C) pri CSI ms"],
+        rows,
+        title=f"Figure 6: mixed workload mean execution time, "
+              f"{N_THREADS} threads")
+    record_result("fig6_mixed", table)
+
+    # 100% updates: B+ tree-only wins; primary CSI is much slower.
+    assert means["A"][0] < means["B"][0]
+    assert means["C"][0] > means["A"][0] * 3
+    # Once scans appear, the hybrid design (B) has the best mean workload
+    # execution time: already competitive at 1% (within 10% of A, like
+    # the paper's near-equal bars) and strictly best from 2% on.
+    for i, scan_percent in enumerate(SCAN_PERCENTS):
+        if scan_percent == 1:
+            assert means["B"][i] <= means["A"][i] * 1.1
+        if scan_percent >= 2:
+            assert means["B"][i] <= means["A"][i]
+        if scan_percent >= 1:
+            assert means["B"][i] <= means["C"][i]
+    # Scans dominate even at 5%: A's mean rises steeply vs its 0% point.
+    assert means["A"][-1] > means["A"][0] * 2

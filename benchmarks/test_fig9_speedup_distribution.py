@@ -1,0 +1,129 @@
+"""Figure 9: distribution of per-query CPU-time speedup achieved by the
+hybrid physical design over columnstore-only and B+ tree-only designs,
+for TPC-DS and the five customer-workload analogs.
+
+For each workload, DTA tunes a hybrid design and a B+ tree-only design;
+the columnstore-only baseline is a secondary CSI on every table. Every
+query executes under each design and per-query CPU time feeds the
+paper's speedup buckets (<=0.5, 0.8, 1.2, 1.5, 2, 5, 10, >10).
+
+Findings reproduced:
+
+* Every workload has queries where hybrid wins by more than an order of
+  magnitude over at least one single-format design.
+* Workload character drives which baseline suffers: the selective
+  customer workloads (cust1/cust3) are crushed against columnstore-only;
+  the scan-heavy cust2 is nearly identical to columnstore-only but far
+  ahead of B+ tree-only; TPC-DS gains against both.
+* A few queries regress (speedup < 1): optimizer cost-estimate errors
+  make some hybrid choices sub-optimal in measured cost, exactly as the
+  paper observes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.advisor.advisor import MODE_BTREE_ONLY, MODE_CSI_ONLY
+from repro.bench.figure9 import evaluate_workload
+from repro.bench.reporting import (
+    SPEEDUP_BUCKET_LABELS,
+    format_table,
+    summarize_speedups,
+)
+from repro.bench.workload_setups import all_read_only_factories
+
+#: Paper shape targets: minimum number of queries with >10x speedup.
+MIN_OVER_10X = {
+    "TPC-DS": {"csi_only": 5, "btree_only": 10},
+    "cust1": {"csi_only": 10, "btree_only": 3},
+    "cust2": {"csi_only": 0, "btree_only": 10},
+    "cust3": {"csi_only": 10, "btree_only": 2},
+    "cust4": {"csi_only": 2, "btree_only": 2},
+    # cust5's fact tables are tiny (Table 2: max table 1.52 GB), so the
+    # scan gap tops out below 10x at this scale; require >=10 queries
+    # above 5x instead (checked separately below).
+    "cust5": {"csi_only": 0, "btree_only": 2},
+}
+
+
+@pytest.fixture(scope="session")
+def evaluations():
+    return {
+        name: evaluate_workload(name, factory)
+        for name, factory in all_read_only_factories()
+    }
+
+
+def test_fig9_speedup_distributions(benchmark, record_result, evaluations):
+    def summarize():
+        lines = []
+        rows = []
+        for name, evaluation in evaluations.items():
+            csi_hist = evaluation.histogram(MODE_CSI_ONLY)
+            btree_hist = evaluation.histogram(MODE_BTREE_ONLY)
+            rows.append((name, "vs CSI-only", *csi_hist))
+            rows.append((name, "vs B+tree-only", *btree_hist))
+            csi_stats = summarize_speedups(evaluation.speedups(MODE_CSI_ONLY))
+            btree_stats = summarize_speedups(
+                evaluation.speedups(MODE_BTREE_ONLY))
+            lines.append(
+                f"{name}: hybrid vs CSI geomean "
+                f"{csi_stats['geomean']:.2f}x (max {csi_stats['max']:.0f}x); "
+                f"vs B+tree geomean {btree_stats['geomean']:.2f}x "
+                f"(max {btree_stats['max']:.0f}x)")
+        table = format_table(
+            ["workload", "baseline", *SPEEDUP_BUCKET_LABELS], rows,
+            title="Figure 9: #queries per speedup bucket "
+                  "(hybrid vs single-format designs, CPU time)")
+        return table + "\n" + "\n".join(lines)
+
+    text = benchmark.pedantic(summarize, rounds=1, iterations=1)
+    record_result("fig9_speedup_distribution", text)
+
+    for name, evaluation in evaluations.items():
+        csi_hist = evaluation.histogram(MODE_CSI_ONLY)
+        btree_hist = evaluation.histogram(MODE_BTREE_ONLY)
+        targets = MIN_OVER_10X[name]
+        assert csi_hist[-1] >= targets["csi_only"], (
+            f"{name}: expected >= {targets['csi_only']} queries with "
+            f">10x speedup vs CSI-only, got {csi_hist[-1]}")
+        assert btree_hist[-1] >= targets["btree_only"], (
+            f"{name}: expected >= {targets['btree_only']} queries with "
+            f">10x speedup vs B+ tree-only, got {btree_hist[-1]}")
+
+    # Workload-character checks from the paper's discussion:
+    # cust2's hybrid design is close to CSI-only overall (geomean < 2x)
+    # while being far ahead of B+ tree-only.
+    cust2 = evaluations["cust2"]
+    from repro.bench.reporting import geometric_mean
+    assert geometric_mean(cust2.speedups(MODE_CSI_ONLY)) < 2.5
+    assert geometric_mean(cust2.speedups(MODE_BTREE_ONLY)) > 3.0
+    # cust1/cust3 gain at least an order of magnitude on a large fraction
+    # of queries against CSI-only.
+    for name in ("cust1", "cust3"):
+        hist = evaluations[name].histogram(MODE_CSI_ONLY)
+        assert hist[-1] >= len(evaluations[name].speedups(MODE_CSI_ONLY)) * 0.3
+    # cust5 (many joins over small tables): at least 10 queries gain >5x
+    # over B+ tree-only.
+    cust5_bt = evaluations["cust5"].histogram(MODE_BTREE_ONLY)
+    assert cust5_bt[-1] + cust5_bt[-2] >= 10
+
+
+def test_fig9_hybrid_never_loses_badly_overall(benchmark, evaluations):
+    """Aggregate sanity: per workload, total hybrid CPU is never worse
+    than either single-format design (DTA picks the best of both
+    worlds at the workload level)."""
+    def check():
+        out = {}
+        for name, evaluation in evaluations.items():
+            hybrid = sum(evaluation.cpu_ms["hybrid"])
+            csi = sum(evaluation.cpu_ms[MODE_CSI_ONLY])
+            btree = sum(evaluation.cpu_ms[MODE_BTREE_ONLY])
+            out[name] = (hybrid, csi, btree)
+        return out
+
+    totals = benchmark.pedantic(check, rounds=1, iterations=1)
+    for name, (hybrid, csi, btree) in totals.items():
+        assert hybrid <= csi * 1.05, f"{name}: hybrid worse than CSI-only"
+        assert hybrid <= btree * 1.05, f"{name}: hybrid worse than B+-only"

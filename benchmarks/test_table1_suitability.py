@@ -1,0 +1,110 @@
+"""Table 1: the suitability matrix summarizing the micro-benchmark study.
+
+The paper condenses Section 3 into a matrix of physical design
+(B+ tree-only / primary CSI-only / secondary CSI with B+ tree) against
+workload axes (short scans / large scans / short updates / large
+updates), labelling each cell most/medium/least suitable.
+
+This bench *measures* each cell on a common table and derives the
+rankings, asserting the paper's orderings:
+
+* short scans:   B+ tree most suitable, secondary-CSI design least
+                 (its B+ tree could serve them, but the cell isolates
+                 the CSI access path; we follow the paper and measure
+                 the design's CSI path) — we assert B+ tree wins;
+* large scans:   primary CSI most suitable, B+ tree least;
+* short updates: B+ tree most suitable, primary CSI least;
+* large updates: B+ tree most suitable, both CSIs far behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.engine.executor import Executor
+from repro.storage.database import Database
+from repro.workloads.synthetic import make_uniform_table, q1_scan
+
+N_ROWS = 200_000
+DESIGNS = ("btree_only", "primary_csi", "sec_csi_with_btree")
+
+
+def build(design: str) -> Executor:
+    db = Database()
+    make_uniform_table(db, "micro", N_ROWS, 2, seed=33)
+    table = db.table("micro")
+    if design == "btree_only":
+        table.set_primary_btree(["col1"])
+    elif design == "primary_csi":
+        table.set_primary_columnstore(rowgroup_size=8192)
+    else:
+        table.set_primary_btree(["col1"])
+        table.create_secondary_columnstore("csi", rowgroup_size=8192)
+    return Executor(db)
+
+
+def measure_cell(executor: Executor, cell: str) -> float:
+    if cell == "short_scan":
+        return executor.execute(q1_scan(0.01)).metrics.elapsed_ms
+    if cell == "large_scan":
+        return executor.execute(q1_scan(100.0)).metrics.elapsed_ms
+    if cell == "short_update":
+        result = executor.execute(
+            "UPDATE TOP (5) micro SET col2 = col2 + 1 WHERE col1 >= 0")
+        return result.metrics.elapsed_ms
+    if cell == "large_update":
+        result = executor.execute(
+            f"UPDATE TOP ({N_ROWS // 10}) micro SET col2 = col2 + 1 "
+            f"WHERE col1 >= 0")
+        return result.metrics.elapsed_ms
+    raise ValueError(cell)
+
+
+CELLS = ("short_scan", "large_scan", "short_update", "large_update")
+
+
+def test_table1_suitability_matrix(benchmark, record_result):
+    def run():
+        measured = {}
+        for design in DESIGNS:
+            executor = build(design)
+            for cell in CELLS:
+                measured[(design, cell)] = measure_cell(executor, cell)
+        return measured
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for design in DESIGNS:
+        rows.append((design, *(round(measured[(design, cell)], 3)
+                               for cell in CELLS)))
+    table = format_table(
+        ["design", *CELLS], rows,
+        title="Table 1: measured cost (ms) per workload axis and design")
+
+    def ranking(cell):
+        ordered = sorted(DESIGNS, key=lambda d: measured[(d, cell)])
+        return ordered
+
+    lines = [f"{cell}: best={ranking(cell)[0]}, "
+             f"worst={ranking(cell)[-1]}" for cell in CELLS]
+    record_result("table1_suitability", table + "\n" + "\n".join(lines))
+
+    # Short scans: B+ tree most suitable.
+    assert ranking("short_scan")[0] == "btree_only"
+    # Large scans: primary CSI most suitable, B+ tree least.
+    assert ranking("large_scan")[0] == "primary_csi"
+    assert ranking("large_scan")[-1] == "btree_only"
+    # Short updates: B+ tree most suitable, primary CSI least suitable.
+    assert ranking("short_update")[0] == "btree_only"
+    assert ranking("short_update")[-1] == "primary_csi"
+    # Large updates: B+ tree most suitable; both CSI designs cost
+    # multiples of the B+ tree design.
+    assert ranking("large_update")[0] == "btree_only"
+    for design in ("primary_csi", "sec_csi_with_btree"):
+        assert measured[(design, "large_update")] > \
+            measured[("btree_only", "large_update")] * 2
+    # The secondary-CSI hybrid keeps large scans fast (medium cell).
+    assert measured[("sec_csi_with_btree", "large_scan")] < \
+        measured[("btree_only", "large_scan")] / 5

@@ -1,0 +1,90 @@
+"""Table 2: aggregate schema and query-complexity statistics of the
+read-only workloads.
+
+Regenerates the paper's table — database size, number of tables, max
+table size, average columns per table, number of queries, and average
+joins per query — from this repository's scaled workloads, and checks
+that the *relative* shape statistics match the paper's (e.g. cust5 has
+by far the most joins per query and the smallest max table; cust3 has
+the most tables; every workload's query count matches exactly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.reporting import format_table
+from repro.bench.workload_setups import all_read_only_factories
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+
+#: Paper Table 2 query counts (exact) and joins/query (relative shape).
+PAPER_QUERY_COUNTS = {
+    "TPC-DS": 97, "cust1": 36, "cust2": 40, "cust3": 40, "cust4": 24,
+    "cust5": 47,
+}
+
+
+def workload_stats(name, factory):
+    database, queries = factory()
+    binder = Binder(database)
+    n_joins = []
+    for sql in queries:
+        bound = binder.bind(parse(sql))
+        n_joins.append(len(bound.join_edges))
+    table_sizes = {
+        table.name: table.total_index_bytes()
+        for table in database.tables()
+    }
+    total_mb = sum(table_sizes.values()) / (1024 * 1024)
+    max_mb = max(table_sizes.values()) / (1024 * 1024)
+    avg_cols = sum(len(t.schema) for t in database.tables()) / max(
+        1, len(database.tables()))
+    return {
+        "name": name,
+        "db_mb": round(total_mb, 1),
+        "n_tables": len(database.tables()),
+        "max_table_mb": round(max_mb, 1),
+        "avg_cols": round(avg_cols, 1),
+        "n_queries": len(queries),
+        "avg_joins": round(sum(n_joins) / len(n_joins), 2),
+    }
+
+
+def test_table2_workload_statistics(benchmark, record_result):
+    def run():
+        return [workload_stats(name, factory)
+                for name, factory in all_read_only_factories()]
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (s["name"], s["db_mb"], s["n_tables"], s["max_table_mb"],
+         s["avg_cols"], s["n_queries"], s["avg_joins"])
+        for s in stats
+    ]
+    table = format_table(
+        ["workload", "DB size MB", "#tables", "max table MB",
+         "avg #cols", "#queries", "avg #joins"],
+        rows,
+        title="Table 2: schema and query statistics of the read-only "
+              "workloads (scaled ~1000x from the paper)")
+    record_result("table2_workload_stats", table)
+
+    by_name = {s["name"]: s for s in stats}
+    # Exact query counts from the paper.
+    for name, count in PAPER_QUERY_COUNTS.items():
+        assert by_name[name]["n_queries"] == count
+    # Relative shape checks mirroring the paper's Table 2:
+    # cust5 has the most joins per query by a wide margin...
+    others = [s["avg_joins"] for s in stats if s["name"] != "cust5"]
+    assert by_name["cust5"]["avg_joins"] > max(others)
+    # ...and the smallest maximum table size.
+    other_max = [s["max_table_mb"] for s in stats if s["name"] != "cust5"]
+    assert by_name["cust5"]["max_table_mb"] < min(other_max)
+    # cust3 has the largest table count; cust2 second.
+    assert by_name["cust3"]["n_tables"] == max(s["n_tables"] for s in stats)
+    # cust1 is the biggest database (172 GB in the paper).
+    assert by_name["cust1"]["db_mb"] == max(s["db_mb"] for s in stats)
+    # Every workload joins at least a couple of tables on average,
+    # except the deliberately mixed cases; TPC-DS averages ~1-8 joins.
+    assert by_name["TPC-DS"]["avg_joins"] > 0.5

@@ -1,0 +1,106 @@
+"""Quickstart: build a table, compare B+ tree vs columnstore, run the
+tuning advisor.
+
+Walks through the paper's core loop in miniature:
+
+1. create a table and load data;
+2. execute the same query under a B+ tree design and a columnstore
+   design, observing the selectivity trade-off of Figure 1;
+3. hand a mixed workload to the tuning advisor and let it recommend a
+   *hybrid* design;
+4. apply the recommendation and measure the improvement.
+
+Run with: ``python examples/quickstart.py``
+"""
+
+import random
+
+from repro import (
+    Column,
+    Database,
+    Executor,
+    INT,
+    TableSchema,
+    TuningAdvisor,
+    Workload,
+    varchar,
+)
+
+
+def build_database() -> Database:
+    database = Database("quickstart")
+    orders = database.create_table(TableSchema("orders", [
+        Column("o_id", INT, nullable=False),
+        Column("o_customer", INT, nullable=False),
+        Column("o_status", varchar(1)),
+        Column("o_amount", INT),
+        Column("o_region", INT),
+    ]))
+    rng = random.Random(7)
+    orders.bulk_load([
+        (i, rng.randrange(5_000), rng.choice("NPS"),
+         rng.randrange(10_000), rng.randrange(8))
+        for i in range(100_000)
+    ])
+    return database
+
+
+def compare_designs() -> None:
+    print("=== 1. The selectivity trade-off (Figure 1 in miniature) ===")
+    selective = "SELECT sum(o_amount) FROM orders WHERE o_id BETWEEN 500 AND 520"
+    analytic = "SELECT o_region, sum(o_amount) t FROM orders GROUP BY o_region"
+
+    for design in ("B+ tree", "columnstore"):
+        database = build_database()
+        if design == "B+ tree":
+            database.table("orders").set_primary_btree(["o_id"])
+        else:
+            database.table("orders").set_primary_columnstore()
+        executor = Executor(database)
+        sel = executor.execute(selective)
+        scan = executor.execute(analytic)
+        print(f"  {design:12s}: selective query {sel.metrics.cpu_ms:8.3f} ms CPU, "
+              f"analytic query {scan.metrics.cpu_ms:8.3f} ms CPU")
+    print("  -> each format wins one of the two queries;"
+          " neither wins both.\n")
+
+
+def tune_hybrid() -> None:
+    print("=== 2. Let the advisor pick a hybrid design ===")
+    database = build_database()
+    database.table("orders").set_primary_btree(["o_id"])
+    executor = Executor(database)
+
+    workload = Workload.from_sql([
+        "SELECT sum(o_amount) FROM orders WHERE o_customer = 42",
+        "SELECT o_region, sum(o_amount) t FROM orders GROUP BY o_region",
+        "SELECT o_status, count(*) c FROM orders GROUP BY o_status",
+        ("UPDATE TOP (10) orders SET o_amount = o_amount + 1 "
+         "WHERE o_id < 1000", 5.0),
+    ], database)
+
+    before = sum(executor.execute(s.sql).metrics.cpu_ms
+                 for s in workload.selects)
+
+    advisor = TuningAdvisor(database)
+    recommendation = advisor.tune(workload)
+    print(recommendation.summary())
+    advisor.apply(recommendation)
+    executor.refresh()
+
+    after = sum(executor.execute(s.sql).metrics.cpu_ms
+                for s in workload.selects)
+    print(f"\n  measured read CPU: {before:.2f} ms -> {after:.2f} ms "
+          f"({before / after:.1f}x)\n")
+
+    print("=== 3. Inspect a plan ===")
+    result = executor.execute(
+        "SELECT o_region, sum(o_amount) t FROM orders GROUP BY o_region")
+    print(result.plan.explain())
+    print(f"\n  plan uses: {result.plan.index_kinds_at_leaves()}, "
+          f"hybrid plan: {result.plan.is_hybrid()}")
+
+
+if __name__ == "__main__":
+    compare_designs()
+    tune_hybrid()

@@ -1,0 +1,59 @@
+"""Tune a decision-support workload: TPC-DS through the extended DTA.
+
+Reproduces the paper's Section 5 evaluation loop on the scaled TPC-DS
+workload:
+
+1. generate the star schema and a 97-query workload;
+2. tune it three ways — B+ tree-only, columnstore-only, hybrid;
+3. execute every query under each design and report total CPU time and
+   the speedup distribution (Figure 9(a));
+4. show how the advisor's what-if estimates compare to measured costs.
+
+Run with: ``python examples/tune_tpcds.py``
+"""
+
+from repro import MODE_BTREE_ONLY, MODE_CSI_ONLY, MODE_HYBRID
+from repro.bench.figure9 import evaluate_workload
+from repro.bench.reporting import (
+    SPEEDUP_BUCKET_LABELS,
+    format_table,
+    summarize_speedups,
+)
+from repro.bench.workload_setups import tpcds_factory
+
+
+def main() -> None:
+    print("Evaluating TPC-DS (97 queries) under three physical designs...")
+    evaluation = evaluate_workload("TPC-DS", tpcds_factory)
+
+    print("\n=== Advisor recommendations ===")
+    for design, summary in evaluation.recommendation_summaries.items():
+        print(f"\n[{design}]")
+        print(summary if len(summary) < 1500 else summary[:1500] + " ...")
+
+    print("\n=== Total workload CPU time ===")
+    for design in (MODE_BTREE_ONLY, MODE_CSI_ONLY, MODE_HYBRID):
+        total = sum(evaluation.cpu_ms[design])
+        print(f"  {design:12s}: {total:10.1f} ms")
+
+    print("\n=== Figure 9(a): per-query speedup of hybrid ===")
+    rows = []
+    for baseline in (MODE_CSI_ONLY, MODE_BTREE_ONLY):
+        histogram = evaluation.histogram(baseline)
+        rows.append((f"vs {baseline}", *histogram))
+    print(format_table(["baseline", *SPEEDUP_BUCKET_LABELS], rows))
+
+    for baseline in (MODE_CSI_ONLY, MODE_BTREE_ONLY):
+        stats = summarize_speedups(evaluation.speedups(baseline))
+        print(f"\n  vs {baseline}: median {stats['median']:.2f}x, "
+              f"geomean {stats['geomean']:.2f}x, max {stats['max']:.0f}x, "
+              f"{stats['over_10x']} queries over 10x")
+
+    print("\n=== Figure 10: plan composition under the hybrid design ===")
+    print(f"  columnstore leaves: {evaluation.csi_leaf_pct:.1f}%")
+    print(f"  B+ tree leaves:     {evaluation.btree_leaf_pct:.1f}%")
+    print(f"  plans using both formats: {evaluation.hybrid_plan_count}")
+
+
+if __name__ == "__main__":
+    main()

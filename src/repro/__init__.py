@@ -1,0 +1,84 @@
+"""repro: a reproduction of "Columnstore and B+ tree - Are Hybrid
+Physical Designs Important?" (SIGMOD 2018).
+
+Public API highlights:
+
+* :class:`repro.Database` / :class:`repro.Table` — the storage engine
+  (heap, clustered/secondary B+ trees, primary/secondary columnstores).
+* :class:`repro.Executor` — SQL execution with the paper's observables
+  (elapsed time, CPU time, data read, memory, spills, plan shape).
+* :class:`repro.TuningAdvisor` / :class:`repro.Workload` — the extended
+  Database Engine Tuning Advisor recommending hybrid designs.
+* :class:`repro.WhatIfSession` — hypothetical-index costing.
+* :class:`repro.ConcurrencySimulator` — the multi-client discrete-event
+  simulator behind the mixed-workload experiments.
+"""
+
+from repro.advisor.advisor import (
+    MODE_BTREE_ONLY,
+    MODE_CSI_ONLY,
+    MODE_HYBRID,
+    Recommendation,
+    TuningAdvisor,
+)
+from repro.advisor.workload import Workload, WorkloadStatement
+from repro.core.schema import Column, SchemaBuilder, TableSchema
+from repro.core.types import BIGINT, DATE, INT, XML, decimal, varchar
+from repro.engine.concurrency import (
+    ConcurrencySimulator,
+    SimulationResult,
+    StatementProfile,
+)
+from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.engine.executor import Executor, QueryResult
+from repro.engine.locks import READ_COMMITTED, SERIALIZABLE, SNAPSHOT
+from repro.engine.metrics import ExecutionContext, QueryMetrics
+from repro.optimizer.catalog import Catalog
+from repro.optimizer.whatif import (
+    Configuration,
+    WhatIfSession,
+    hypothetical_btree,
+    hypothetical_columnstore,
+)
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BIGINT",
+    "DATE",
+    "INT",
+    "XML",
+    "Catalog",
+    "Column",
+    "Configuration",
+    "ConcurrencySimulator",
+    "CostModel",
+    "DEFAULT_COST_MODEL",
+    "Database",
+    "ExecutionContext",
+    "Executor",
+    "MODE_BTREE_ONLY",
+    "MODE_CSI_ONLY",
+    "MODE_HYBRID",
+    "QueryMetrics",
+    "QueryResult",
+    "READ_COMMITTED",
+    "Recommendation",
+    "SERIALIZABLE",
+    "SNAPSHOT",
+    "SchemaBuilder",
+    "SimulationResult",
+    "StatementProfile",
+    "Table",
+    "TableSchema",
+    "TuningAdvisor",
+    "WhatIfSession",
+    "Workload",
+    "WorkloadStatement",
+    "decimal",
+    "hypothetical_btree",
+    "hypothetical_columnstore",
+    "varchar",
+]

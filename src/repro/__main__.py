@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``demo``
+    The quickstart walkthrough (B+ tree vs columnstore, advisor loop).
+``micro --experiment {selectivity,updates,groupby}``
+    Run one micro-benchmark sweep and print the paper-style table.
+``tune --workload {tpcds,cust1..cust5} [--mode hybrid|btree_only|csi_only]``
+    Tune a workload and print the recommendation.
+``inventory``
+    Build the TPC-H database and print its physical design inventory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(_args) -> int:
+    import random
+
+    from repro import (Column, Database, Executor, INT, TableSchema,
+                       TuningAdvisor, Workload, varchar)
+
+    def build() -> Database:
+        """Construct and populate the demo database."""
+        database = Database("demo")
+        orders = database.create_table(TableSchema("orders", [
+            Column("o_id", INT, nullable=False),
+            Column("o_customer", INT, nullable=False),
+            Column("o_status", varchar(1)),
+            Column("o_amount", INT),
+            Column("o_region", INT),
+        ]))
+        rng = random.Random(7)
+        orders.bulk_load([
+            (i, rng.randrange(5_000), rng.choice("NPS"),
+             rng.randrange(10_000), rng.randrange(8))
+            for i in range(100_000)
+        ])
+        return database
+
+    selective = ("SELECT sum(o_amount) FROM orders "
+                 "WHERE o_id BETWEEN 500 AND 520")
+    analytic = ("SELECT o_region, sum(o_amount) t FROM orders "
+                "GROUP BY o_region")
+    print("=== the trade-off (Figure 1 in miniature) ===")
+    for design in ("B+ tree", "columnstore"):
+        database = build()
+        if design == "B+ tree":
+            database.table("orders").set_primary_btree(["o_id"])
+        else:
+            database.table("orders").set_primary_columnstore()
+        executor = Executor(database)
+        sel = executor.execute(selective).metrics.cpu_ms
+        scan = executor.execute(analytic).metrics.cpu_ms
+        print(f"  {design:12s}: selective {sel:8.3f} ms CPU, "
+              f"analytic {scan:8.3f} ms CPU")
+
+    print("\n=== the advisor picks a hybrid design ===")
+    database = build()
+    database.table("orders").set_primary_btree(["o_id"])
+    workload = Workload.from_sql([
+        "SELECT sum(o_amount) FROM orders WHERE o_customer = 42",
+        analytic,
+    ], database)
+    advisor = TuningAdvisor(database)
+    recommendation = advisor.tune(workload)
+    print(recommendation.summary())
+    return 0
+
+
+def _cmd_micro(args) -> int:
+    from repro.bench.reporting import format_table
+    from repro.engine.executor import Executor
+    from repro.storage.database import Database
+    from repro.workloads.synthetic import (
+        PAPER_SELECTIVITIES_PCT,
+        make_group_table,
+        make_uniform_table,
+        q1_scan,
+        q3_group_by,
+    )
+
+    if args.experiment == "selectivity":
+        rows = []
+        db_b = Database()
+        make_uniform_table(db_b, "micro", args.rows, 1, seed=5)
+        db_b.table("micro").set_primary_btree(["col1"])
+        db_c = Database()
+        make_uniform_table(db_c, "micro", args.rows, 1, seed=5)
+        db_c.table("micro").set_primary_columnstore()
+        ex_b, ex_c = Executor(db_b), Executor(db_c)
+        for selectivity in PAPER_SELECTIVITIES_PCT:
+            sql = q1_scan(selectivity)
+            bt = ex_b.execute(sql)
+            csi = ex_c.execute(sql)
+            rows.append((selectivity, bt.metrics.elapsed_ms,
+                         csi.metrics.elapsed_ms, bt.metrics.cpu_ms,
+                         csi.metrics.cpu_ms))
+        print(format_table(
+            ["sel%", "btree ms", "CSI ms", "btree CPU", "CSI CPU"], rows,
+            title=f"Q1 selectivity sweep, {args.rows} rows (Figure 1)"))
+        return 0
+
+    if args.experiment == "groupby":
+        rows = []
+        for n_groups in (100, 1_000, 10_000, 50_000):
+            db_b = Database()
+            make_group_table(db_b, "micro3", args.rows, n_groups)
+            db_b.table("micro3").set_primary_btree(["col1"])
+            db_c = Database()
+            make_group_table(db_c, "micro3", args.rows, n_groups)
+            db_c.table("micro3").set_primary_columnstore()
+            grant = 1 << 20
+            bt = Executor(db_b).execute(q3_group_by(),
+                                        memory_grant_bytes=grant)
+            csi = Executor(db_c).execute(q3_group_by(),
+                                         memory_grant_bytes=grant)
+            rows.append((n_groups, bt.metrics.elapsed_ms,
+                         csi.metrics.elapsed_ms,
+                         csi.metrics.spilled_bytes // 1024))
+        print(format_table(
+            ["#groups", "btree ms", "CSI ms", "CSI spill KB"], rows,
+            title=f"GROUP BY sweep, {args.rows} rows (Figure 4)"))
+        return 0
+
+    if args.experiment == "updates":
+        from repro.workloads.tpch import generate_tpch
+        rows = []
+        for design in ("btree", "btree+csi", "pri_csi"):
+            db = Database()
+            generate_tpch(db, scale=0.3)
+            lineitem = db.table("lineitem")
+            if design in ("btree", "btree+csi"):
+                lineitem.set_primary_btree(["l_shipdate"])
+            if design == "btree+csi":
+                lineitem.create_secondary_columnstore(
+                    "csi", rowgroup_size=4096)
+            if design == "pri_csi":
+                lineitem.set_primary_columnstore(rowgroup_size=4096)
+            executor = Executor(db)
+            result = executor.execute(
+                "UPDATE TOP (1000) lineitem SET l_quantity += 1 "
+                "WHERE l_shipdate >= '1992-01-01'")
+            rows.append((design, result.metrics.elapsed_ms))
+        print(format_table(["design", "1000-row update ms"], rows,
+                           title="Update cost by design (Figure 5)"))
+        return 0
+
+    print(f"unknown experiment {args.experiment!r}", file=sys.stderr)
+    return 2
+
+
+def _cmd_tune(args) -> int:
+    from repro.advisor.advisor import TuningAdvisor
+    from repro.advisor.workload import Workload
+    from repro.bench.workload_setups import customer_factory, tpcds_factory
+
+    if args.workload == "tpcds":
+        database, queries = tpcds_factory()
+    else:
+        database, queries = customer_factory(args.workload)
+    workload = Workload.from_sql(queries, database)
+    advisor = TuningAdvisor(database)
+    recommendation = advisor.tune(workload, mode=args.mode)
+    print(recommendation.summary())
+    if args.apply:
+        created = advisor.apply(recommendation)
+        print(f"\napplied: built {len(created)} indexes")
+    return 0
+
+
+def _cmd_inventory(_args) -> int:
+    from repro.storage.database import Database
+    from repro.workloads.tpch import generate_tpch
+
+    database = Database("tpch")
+    generate_tpch(database, scale=0.5)
+    database.table("lineitem").set_primary_btree(
+        ["l_orderkey", "l_linenumber"])
+    database.table("lineitem").create_secondary_columnstore("csi_lineitem")
+    for line in database.index_inventory():
+        print(line)
+    print(f"\ntotal: {database.total_size_bytes() / (1 << 20):.1f} MB")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Columnstore and B+ tree - Are "
+                    "Hybrid Physical Designs Important?' (SIGMOD 2018)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="quickstart walkthrough")
+
+    micro = sub.add_parser("micro", help="run a micro-benchmark sweep")
+    micro.add_argument("--experiment", default="selectivity",
+                       choices=("selectivity", "groupby", "updates"))
+    micro.add_argument("--rows", type=int, default=200_000)
+
+    tune = sub.add_parser("tune", help="tune a workload with the advisor")
+    tune.add_argument("--workload", default="tpcds",
+                      choices=("tpcds", "cust1", "cust2", "cust3",
+                               "cust4", "cust5"))
+    tune.add_argument("--mode", default="hybrid",
+                      choices=("hybrid", "btree_only", "csi_only"))
+    tune.add_argument("--apply", action="store_true",
+                      help="build the recommended indexes")
+
+    sub.add_parser("inventory", help="print a sample physical design")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "demo": _cmd_demo,
+        "micro": _cmd_micro,
+        "tune": _cmd_tune,
+        "inventory": _cmd_inventory,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,122 @@
+"""End-to-end design comparison machinery for Figures 9 and 10.
+
+For each read-only workload, the paper compares three physical designs
+(Section 5.1):
+
+(a) **B+ tree-only** — DTA restricted to B+ tree indexes;
+(b) **columnstore-only** — a secondary columnstore on every table;
+(c) **hybrid** — the extended DTA choosing freely.
+
+This module builds each design on a fresh copy of the workload database,
+executes every query, and collects per-query CPU time (the paper's
+Figure 9 metric) plus plan-composition statistics (Figure 10: percentage
+of plan leaves reading columnstore vs B+ tree, and the number of plans
+using both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.advisor.advisor import (
+    MODE_BTREE_ONLY,
+    MODE_CSI_ONLY,
+    MODE_HYBRID,
+    TuningAdvisor,
+)
+from repro.advisor.workload import Workload
+from repro.bench.reporting import speedup_histogram
+from repro.engine.executor import Executor
+from repro.storage.database import Database
+
+DESIGNS = (MODE_HYBRID, MODE_CSI_ONLY, MODE_BTREE_ONLY)
+
+#: A factory returns a fresh (database, query list) pair; designs mutate
+#: the database, so each design evaluation gets its own copy.
+WorkloadFactory = Callable[[], Tuple[Database, List[str]]]
+
+
+@dataclass
+class DesignEvaluation:
+    """Results of evaluating one workload under the three designs."""
+
+    workload_name: str
+    #: design -> per-query CPU ms, aligned with the query list.
+    cpu_ms: Dict[str, List[float]] = field(default_factory=dict)
+    #: hybrid-design plan stats for Figure 10.
+    csi_leaf_pct: float = 0.0
+    btree_leaf_pct: float = 0.0
+    hybrid_plan_count: int = 0
+    recommendation_summaries: Dict[str, str] = field(default_factory=dict)
+
+    def speedups(self, base_design: str) -> List[float]:
+        """Per-query speedup of hybrid over ``base_design``."""
+        hybrid = self.cpu_ms[MODE_HYBRID]
+        base = self.cpu_ms[base_design]
+        return [b / h if h > 0 else float("inf")
+                for h, b in zip(hybrid, base)]
+
+    def histogram(self, base_design: str) -> List[int]:
+        """Figure 9-style bucket counts of hybrid speedups."""
+        return speedup_histogram(self.speedups(base_design))
+
+
+def apply_design(database: Database, workload: Workload, design: str,
+                 advisor: TuningAdvisor) -> str:
+    """Tune and materialize one design; returns a summary string."""
+    if design == MODE_CSI_ONLY:
+        # The paper's columnstore-only baseline is not advisor-driven: it
+        # simply builds a secondary (nonclustered) CSI on every table.
+        for table_name in workload.referenced_tables():
+            table = database.table(table_name)
+            if not table.schema.columnstore_columns():
+                continue
+            table.drop_all_secondary_indexes()
+            table.create_secondary_columnstore(f"csi_{table_name}")
+        advisor.catalog.invalidate()
+        return "secondary columnstore on every referenced table"
+    recommendation = advisor.tune(workload, mode=design)
+    advisor.apply(recommendation)
+    return recommendation.summary()
+
+
+def evaluate_workload(name: str, factory: WorkloadFactory,
+                      designs: Sequence[str] = DESIGNS) -> DesignEvaluation:
+    """Run the full three-design comparison for one workload."""
+    evaluation = DesignEvaluation(workload_name=name)
+    for design in designs:
+        database, queries = factory()
+        workload = Workload.from_sql(queries, database)
+        advisor = TuningAdvisor(database)
+        summary = apply_design(database, workload, design, advisor)
+        evaluation.recommendation_summaries[design] = summary
+        executor = Executor(database, catalog=advisor.catalog)
+        executor.refresh()
+        cpu = []
+        csi_leaves = 0
+        btree_leaves = 0
+        hybrid_plans = 0
+        for sql in queries:
+            result = executor.execute(sql)
+            cpu.append(result.metrics.cpu_ms)
+            if design == MODE_HYBRID and result.plan is not None:
+                kinds = result.plan.index_kinds_at_leaves()
+                csi_leaves += sum(1 for k in kinds if k == "csi")
+                btree_leaves += sum(1 for k in kinds if k != "csi")
+                if result.plan.is_hybrid():
+                    hybrid_plans += 1
+        evaluation.cpu_ms[design] = cpu
+        if design == MODE_HYBRID:
+            total = max(1, csi_leaves + btree_leaves)
+            evaluation.csi_leaf_pct = 100.0 * csi_leaves / total
+            evaluation.btree_leaf_pct = 100.0 * btree_leaves / total
+            evaluation.hybrid_plan_count = hybrid_plans
+    return evaluation
+
+
+def give_all_tables_primary_btrees(database: Database) -> None:
+    """Baseline physical design: every table clustered on its first
+    column (its key in all generated workloads)."""
+    for table in database.tables():
+        table.set_primary_btree([table.schema.columns[0].name])

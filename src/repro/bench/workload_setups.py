@@ -1,0 +1,46 @@
+"""Workload factories for the end-to-end evaluation (Section 5).
+
+Each factory builds a fresh database plus query list for one of the
+paper's read-only workloads: TPC-DS (scaled) and the five synthesized
+customer-workload analogs. Fresh copies are required because design
+evaluation mutates the physical design.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.bench.figure9 import give_all_tables_primary_btrees
+from repro.storage.database import Database
+from repro.workloads.customer import CUSTOMER_SPECS, generate_customer
+from repro.workloads.tpcds import generate_queries, generate_tpcds
+
+TPCDS_SCALE = 0.5
+TPCDS_QUERIES = 97
+
+
+def tpcds_factory() -> Tuple[Database, List[str]]:
+    """Fresh TPC-DS database + its 97-query workload."""
+    database = Database("tpcds")
+    generate_tpcds(database, scale=TPCDS_SCALE)
+    give_all_tables_primary_btrees(database)
+    return database, generate_queries(TPCDS_QUERIES)
+
+
+def customer_factory(name: str) -> Tuple[Database, List[str]]:
+    """Fresh customer-analog database + its query list."""
+    if name not in CUSTOMER_SPECS:
+        raise KeyError(f"unknown customer workload {name!r}")
+    database = Database(name)
+    workload = generate_customer(database, name)
+    give_all_tables_primary_btrees(database)
+    return database, workload.queries
+
+
+def all_read_only_factories():
+    """(name, factory) pairs for Figure 9's six read-only workloads."""
+    factories = [("TPC-DS", tpcds_factory)]
+    for name in sorted(CUSTOMER_SPECS):
+        factories.append(
+            (name, lambda n=name: customer_factory(n)))
+    return factories

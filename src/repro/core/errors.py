@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro engine.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch a single base class. Subclasses mirror the major subsystems:
+schema/catalog problems, SQL parsing/binding problems, storage-level
+violations, execution failures, and advisor misconfiguration.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A schema definition or lookup is invalid (unknown table/column,
+    duplicate names, type mismatches at DDL time)."""
+
+
+class CatalogError(ReproError):
+    """Catalog-level failure: unknown object, duplicate index name, or an
+    attempt to create an unsupported index combination (e.g. two
+    columnstore indexes on the same table)."""
+
+
+class StorageError(ReproError):
+    """Storage engine invariant violation (bad page id, row group overflow,
+    duplicate key in a unique index, delete of a missing row)."""
+
+
+class SqlError(ReproError):
+    """SQL text could not be tokenized, parsed, or bound to the schema."""
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan (e.g. memory grant
+    exceeded without a spillable operator, type error in an expression)."""
+
+
+class OptimizerError(ReproError):
+    """The optimizer could not produce a plan for a bound statement."""
+
+
+class AdvisorError(ReproError):
+    """Advisor misuse: empty workload, nonsensical storage budget, or an
+    unsupported tuning option combination."""
+
+
+class TransactionError(ReproError):
+    """Transaction-level failure in the concurrency simulator (deadlock
+    victim, write-write conflict under snapshot isolation, etc.)."""

@@ -1,0 +1,151 @@
+"""Columnar batch container exchanged by batch-mode operators.
+
+A :class:`Batch` is a set of equal-length column arrays. Columnstore scans
+produce batches directly from decoded segments; batch-mode operators
+(vectorized filter, hash aggregate, ...) transform them with numpy
+primitives, which is what makes batch mode an order of magnitude cheaper
+per row than row-at-a-time processing in this engine — mirroring SQL
+Server's batch vs row mode distinction.
+
+Row-mode operators exchange plain tuples. :func:`batch_to_rows` and
+:func:`rows_to_batch` adapt between the two worlds at mode boundaries
+(the paper notes hybrid plans mix both modes, Section 4.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+
+Row = Tuple[object, ...]
+
+
+class Batch:
+    """A fixed set of named, equal-length column arrays."""
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Dict[str, np.ndarray]):
+        if not columns:
+            raise ExecutionError("batch must have at least one column")
+        lengths = {len(arr) for arr in columns.values()}
+        if len(lengths) != 1:
+            raise ExecutionError(f"ragged batch: column lengths {lengths}")
+        self.columns = columns
+        self.length = lengths.pop()
+
+    def __len__(self) -> int:
+        return self.length
+
+    def column(self, name: str) -> np.ndarray:
+        """Values of one result/batch/stats column by name."""
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise ExecutionError(f"batch has no column {name!r}") from None
+
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return list(self.columns)
+
+    def filter(self, mask: np.ndarray) -> "Batch":
+        """Keep rows where ``mask`` is True."""
+        return Batch({name: arr[mask] for name, arr in self.columns.items()})
+
+    def take(self, indices: np.ndarray) -> "Batch":
+        """New batch containing the rows at ``indices``, in order."""
+        return Batch({name: arr[indices] for name, arr in self.columns.items()})
+
+    def project(self, names: Sequence[str]) -> "Batch":
+        """New batch restricted to the named columns."""
+        return Batch({name: self.column(name) for name in names})
+
+    def with_column(self, name: str, values: np.ndarray) -> "Batch":
+        """New batch with one extra column appended."""
+        if len(values) != self.length:
+            raise ExecutionError("new column length mismatch")
+        columns = dict(self.columns)
+        columns[name] = values
+        return Batch(columns)
+
+    def head(self, n: int) -> "Batch":
+        """New batch with the first ``n`` rows."""
+        return Batch({name: arr[:n] for name, arr in self.columns.items()})
+
+    def payload_bytes(self) -> int:
+        """Approximate in-memory size, used for memory-grant accounting."""
+        total = 0
+        for arr in self.columns.values():
+            if arr.dtype == object:
+                total += self.length * 24
+            else:
+                total += arr.nbytes
+        return total
+
+
+def rows_to_batch(rows: Sequence[Row], names: Sequence[str]) -> Optional[Batch]:
+    """Pivot row tuples into a columnar batch; None when ``rows`` is empty."""
+    if not rows:
+        return None
+    columns: Dict[str, np.ndarray] = {}
+    for i, name in enumerate(names):
+        values = [row[i] for row in rows]
+        columns[name] = _column_array(values)
+    return Batch(columns)
+
+
+def batch_to_rows(batch: Batch, names: Optional[Sequence[str]] = None) -> List[Row]:
+    """Pivot a batch into row tuples, preserving order."""
+    names = list(names) if names is not None else batch.column_names()
+    arrays = [batch.column(name) for name in names]
+    pythonic = [
+        arr.tolist() if arr.dtype != object else list(arr) for arr in arrays
+    ]
+    return list(zip(*pythonic))
+
+
+def _column_array(values: List[object]) -> np.ndarray:
+    """Build a numpy array with a sensible dtype for a value list.
+
+    Integers stay int64, floats float64; anything else (strings, None)
+    becomes an object array so mixed/NULL data round-trips safely.
+    """
+    has_none = any(v is None for v in values)
+    if not has_none:
+        first = values[0]
+        if isinstance(first, bool):
+            pass  # fall through to object
+        elif isinstance(first, int):
+            if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+                return np.array(values, dtype=np.int64)
+        elif isinstance(first, float):
+            if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   for v in values):
+                return np.array(values, dtype=np.float64)
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+def concat_batches(batches: Iterable[Batch]) -> Optional[Batch]:
+    """Concatenate same-schema batches; None when the input is empty."""
+    materialized = [b for b in batches if len(b) > 0]
+    if not materialized:
+        return None
+    names = materialized[0].column_names()
+    columns: Dict[str, np.ndarray] = {}
+    for name in names:
+        arrays = [b.column(name) for b in materialized]
+        if any(a.dtype == object for a in arrays):
+            arrays = [a.astype(object) for a in arrays]
+        columns[name] = np.concatenate(arrays)
+    return Batch(columns)
+
+
+def iter_rows(batches: Iterable[Batch], names: Sequence[str]) -> Iterator[Row]:
+    """Iterate (rid, row) pairs in RID order."""
+    for batch in batches:
+        yield from batch_to_rows(batch, names)

@@ -1,0 +1,147 @@
+"""Calibrated cost model constants for the simulated engine.
+
+The paper measures elapsed time, CPU time, data read, and memory on a
+specific server (dual-socket Xeon, 40 hardware threads, HDD RAID-0 with
+~1 GB/s sequential read and ~400 MB/s write). We reproduce the *shape* of
+its results with a deterministic cost model: every operator charges CPU
+and I/O against an :class:`repro.engine.metrics.ExecutionContext` using the
+constants below.
+
+The constants encode the structural asymmetries the paper's findings rest
+on:
+
+* **Batch mode vs row mode.** Columnstore scans use vectorized (batch
+  mode) execution, roughly 20-40x cheaper per row than row-at-a-time
+  processing (Section 2; Abadi et al.). ``batch_cpu_ms_per_row`` vs
+  ``row_cpu_ms_per_row``.
+* **Sequential vs random-ish I/O.** Columnstores read multi-megabyte
+  segments sequentially at full device bandwidth, while B+ tree range
+  scans read kilobyte pages with seeks in between, achieving a fraction
+  of sequential bandwidth (Section 3.2.1 attributes part of CSI's
+  advantage to "accessing and prefetching larger data blocks — megabytes
+  in CSI compared to kilobytes in B+ tree").
+* **Parallelism.** Columnstore scans and large B+ tree scans run at high
+  degree-of-parallelism (DOP), dividing elapsed time but adding startup
+  and coordination CPU; very selective B+ tree plans run serially and are
+  the most CPU-efficient (Figure 1(b)).
+
+All times are milliseconds; all sizes are bytes unless suffixed ``_mb``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Tunable constants for CPU, I/O, and memory charging.
+
+    A single instance is shared by the storage engine, executor, optimizer
+    and advisor so that optimizer estimates and "measured" execution agree
+    up to cardinality estimation error — mirroring how DTA trusts the
+    server's cost model.
+    """
+
+    # ------------------------------------------------------------------ CPU
+    #: Row-at-a-time processing cost per row per operator (row mode).
+    #: The ~80x gap to ``batch_cpu_ms_per_row`` reflects the paper's
+    #: Figure 1(b), where the full-scan CPU-time gap between B+ tree row
+    #: mode and columnstore batch mode approaches two orders of magnitude.
+    row_cpu_ms_per_row: float = 2e-3
+    #: Vectorized processing cost per row per operator (batch mode).
+    batch_cpu_ms_per_row: float = 2.5e-5
+    #: Cost of one B+ tree root-to-leaf traversal (binary searches, pins).
+    seek_cpu_ms: float = 0.02
+    #: Per-row cost of inserting into / deleting from a B+ tree.
+    btree_update_cpu_ms_per_row: float = 4e-3
+    #: Per-row hash-table build/probe cost (row mode).
+    hash_cpu_ms_per_row: float = 9e-4
+    #: Per-row comparison-sort cost factor; total = n * log2(n) * this.
+    sort_cpu_ms_per_row_log: float = 1.1e-4
+    #: Per-row streaming-aggregate cost (sorted input, no hash table).
+    stream_agg_cpu_ms_per_row: float = 3e-4
+    #: Fixed CPU to decode (decompress) one column segment.
+    segment_decode_cpu_ms: float = 0.05
+    #: Per-row cost of locating a row inside compressed row groups — the
+    #: expensive scan a *primary* CSI performs to populate its delete
+    #: bitmap (Section 2: "deleting a row in a primary columnstore needs
+    #: to scan the compressed row group to obtain the physical locator").
+    csi_locate_cpu_ms_per_row: float = 2.5e-4
+    #: Per-row cost of the tuple mover compressing delta-store rows into
+    #: a row group (sorting, encoding, segment writes). This is what
+    #: makes *large* updates so expensive on columnstores (Figure 5's
+    #: ~16x at 40% updated): every updated row is re-inserted through the
+    #: delta store and eventually recompressed.
+    csi_compress_cpu_ms_per_row: float = 0.3
+
+    # ------------------------------------------------------------------ I/O
+    # NOTE on device scaling: the paper's tables are 10-100 GB on an HDD
+    # RAID with ~4 ms random page reads and ~1 GB/s sequential reads.
+    # This repository's tables are ~1000x smaller, and its per-row CPU
+    # constants (calibrated so simulated times are meaningful at this
+    # scale) are correspondingly larger than real hardware's. The device
+    # constants below therefore describe a *scaled* HDD chosen to
+    # preserve the two ratios that position the paper's cold-run
+    # crossovers: (random page read) / (full sequential table read), and
+    # (I/O time) / (CPU time) for a full scan. The sequential:B+ tree
+    # chain:random relationships (1 : 4x slower : seek-dominated) match
+    # the paper's description of megabyte CSI reads vs kilobyte B+ tree
+    # page reads.
+    #: Page size used by the row-store side (heap and B+ tree).
+    page_bytes: int = 8192
+    #: Random single-page read (seek + rotational latency + transfer).
+    random_io_ms_per_page: float = 0.5
+    #: Sequential large-block read bandwidth (columnstore segments).
+    seq_io_ms_per_mb: float = 10.0
+    #: Effective B+ tree leaf-chain read bandwidth: page-sized reads with
+    #: read-ahead run slightly below the sequential rate.
+    btree_scan_io_ms_per_mb: float = 12.0
+    #: Write bandwidth (2.5x slower than reads, like the paper's RAID).
+    write_io_ms_per_mb: float = 25.0
+
+    # ------------------------------------------------- parallelism (DOP)
+    #: Maximum degree of parallelism (the paper's server has 40 threads).
+    max_dop: int = 40
+    #: Fixed elapsed cost of starting a parallel plan (thread setup).
+    parallel_startup_ms: float = 1.2
+    #: CPU inflation of parallel plans (exchange/coordination overhead).
+    parallel_cpu_overhead: float = 1.25
+    #: Minimum estimated rows an operator must process for the optimizer
+    #: to choose a parallel plan ("cost threshold for parallelism").
+    parallel_row_threshold: int = 1_000
+
+    # ------------------------------------------------------------- memory
+    #: Default query working-memory grant (bytes). Figure 4 limits this.
+    default_memory_grant_bytes: int = 256 * 1024 * 1024
+    #: Per-row hash-table memory overhead beyond payload bytes.
+    hash_entry_overhead_bytes: int = 36
+    #: Extra CPU multiplier for rows that go through a disk spill
+    #: (written once, read once, plus partitioning overhead).
+    spill_cpu_multiplier: float = 2.2
+
+    # --------------------------------------------------------- updates
+    #: Per-statement fixed cost (parse/plan cache lookup, logging).
+    statement_overhead_ms: float = 0.05
+    #: Per-row logging cost for any modification.
+    log_write_ms_per_row: float = 1e-3
+
+    def scaled_storage(self, slowdown: float) -> "CostModel":
+        """Return a copy with all I/O costs multiplied by ``slowdown``.
+
+        Used by ablation benches: the paper notes "the slower the storage,
+        the higher is the cross-over point" (Section 3.2.3).
+        """
+        return replace(
+            self,
+            random_io_ms_per_page=self.random_io_ms_per_page * slowdown,
+            seq_io_ms_per_mb=self.seq_io_ms_per_mb * slowdown,
+            btree_scan_io_ms_per_mb=self.btree_scan_io_ms_per_mb * slowdown,
+            write_io_ms_per_mb=self.write_io_ms_per_mb * slowdown,
+        )
+
+
+#: The default, paper-calibrated cost model.
+DEFAULT_COST_MODEL = CostModel()
+
+MB = 1024 * 1024

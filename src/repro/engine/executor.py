@@ -1,0 +1,346 @@
+"""Top-level statement executor.
+
+Ties the stack together: SQL text -> parse -> bind -> optimize ->
+materialize -> run, returning rows plus the metrics the paper reports
+(elapsed, CPU, data read, memory, spills). DML statements locate their
+target rows through the best available access path, then route the
+modifications through every index on the table — which is where the
+update-cost asymmetries of Figure 5 are measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+from repro.engine.batch import batch_to_rows
+from repro.engine.expressions import (
+    ColumnRange,
+    Expr,
+    compile_row_predicate,
+    eval_batch,
+    eval_row,
+    extract_column_ranges,
+)
+from repro.engine.metrics import ExecutionContext, QueryMetrics
+from repro.optimizer.catalog import Catalog
+from repro.optimizer.cost_model import CostingOptions
+from repro.optimizer.materializer import Materializer
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.plans import PlannedQuery
+from repro.sql.binder import (
+    Binder,
+    BoundDelete,
+    BoundInsert,
+    BoundSelect,
+    BoundUpdate,
+)
+from repro.sql.parser import parse
+from repro.storage.btree import PrimaryBTreeIndex, SecondaryBTreeIndex
+from repro.storage.columnstore import RID_COLUMN, ColumnstoreIndex
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+@dataclass
+class QueryResult:
+    """Rows, column names, metrics, and (for SELECTs) the chosen plan."""
+
+    columns: List[str]
+    rows: List[Tuple[object, ...]]
+    metrics: QueryMetrics
+    plan: Optional[PlannedQuery] = None
+    rows_affected: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> object:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}")
+        return self.rows[0][0]
+
+    def column(self, name: str) -> List[object]:
+        """Values of one result/batch/stats column by name."""
+        try:
+            i = self.columns.index(name)
+        except ValueError:
+            raise ExecutionError(f"no result column {name!r}") from None
+        return [row[i] for row in self.rows]
+
+
+class Executor:
+    """Executes SQL statements against a database."""
+
+    def __init__(self, database: Database,
+                 catalog: Optional[Catalog] = None,
+                 query_store: Optional["QueryStore"] = None):
+        self.database = database
+        self.catalog = catalog or Catalog(database)
+        self.binder = Binder(database)
+        self.materializer = Materializer(database)
+        #: Optional Query Store recording every execution (Section 3.1's
+        #: monitoring methodology). None disables recording.
+        self.query_store = query_store
+
+    def refresh(self) -> None:
+        """Invalidate cached statistics and design descriptors (call after
+        physical design changes or bulk DML)."""
+        self.catalog.invalidate()
+
+    # ------------------------------------------------------------ running
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        cold: bool = False,
+        memory_grant_bytes: Optional[int] = None,
+        concurrent_queries: int = 1,
+    ) -> QueryResult:
+        """Parse, plan, and run one statement."""
+        statement = parse(sql, params)
+        bound = self.binder.bind(statement)
+        ctx = ExecutionContext(
+            cost_model=self.database.cost_model, cold=cold,
+            memory_grant_bytes=memory_grant_bytes,
+        )
+        ctx.charge_statement_overhead()
+        if isinstance(bound, BoundSelect):
+            result = self._run_select(bound, ctx, concurrent_queries)
+        elif isinstance(bound, BoundUpdate):
+            result = self._run_update(bound, ctx)
+        elif isinstance(bound, BoundDelete):
+            result = self._run_delete(bound, ctx)
+        elif isinstance(bound, BoundInsert):
+            result = self._run_insert(bound, ctx)
+        else:
+            raise ExecutionError(f"cannot execute {type(bound).__name__}")
+        if self.query_store is not None:
+            from repro.engine.query_store import plan_fingerprint
+            self.query_store.record(sql, result.metrics,
+                                    plan_fingerprint(result.plan))
+        return result
+
+    def explain(self, sql: str, params: Sequence[object] = ()) -> str:
+        """The optimizer's chosen plan for a SELECT, as indented text
+        (EXPLAIN without executing)."""
+        return self.plan(sql, params).explain()
+
+    def plan(self, sql: str, params: Sequence[object] = (),
+             cold: bool = False,
+             memory_grant_bytes: Optional[int] = None) -> PlannedQuery:
+        """Optimize a SELECT without executing it."""
+        bound = self.binder.bind(parse(sql, params))
+        if not isinstance(bound, BoundSelect):
+            raise ExecutionError("plan() supports SELECT statements")
+        return self._optimizer(memory_grant_bytes, cold).optimize(bound)
+
+    def _optimizer(self, memory_grant_bytes: Optional[int],
+                   cold: bool, concurrent_queries: int = 1) -> Optimizer:
+        options = CostingOptions(
+            cost_model=self.database.cost_model, cold=cold,
+            memory_grant_bytes=memory_grant_bytes,
+            concurrent_queries=concurrent_queries,
+        )
+        return Optimizer(self.catalog, options)
+
+    def _run_select(self, bound: BoundSelect, ctx: ExecutionContext,
+                    concurrent_queries: int) -> QueryResult:
+        planned = self._optimizer(
+            ctx.memory_grant_bytes, ctx.cold, concurrent_queries,
+        ).optimize(bound)
+        root = self.materializer.materialize(planned)
+        rows: List[Tuple[object, ...]] = []
+        names = root.output_columns
+        for batch in root.execute(ctx):
+            rows.extend(batch_to_rows(batch, names))
+        ctx.metrics.rows_returned = len(rows)
+        return QueryResult(columns=names, rows=rows, metrics=ctx.metrics,
+                           plan=planned)
+
+    # ---------------------------------------------------------------- DML
+    def _positions_for(self, table: Table) -> Dict[str, int]:
+        positions = {}
+        for ordinal, column in enumerate(table.schema.columns):
+            positions[column.name] = ordinal
+            positions[f"{table.name}.{column.name}"] = ordinal
+        return positions
+
+    def _locate_rids(self, table: Table, where: Optional[Expr],
+                     top: Optional[int], ctx: ExecutionContext) -> List[int]:
+        """Find target row ids through the cheapest available access path.
+
+        Mirrors access-path selection for DML: a sargable secondary or
+        primary B+ tree seek when possible, a columnstore scan when the
+        primary is a CSI, a heap scan otherwise.
+        """
+        positions = self._positions_for(table)
+        predicate = compile_row_predicate(where, positions)
+        qualified_ranges = extract_column_ranges(where)
+        ranges = {
+            name.split(".", 1)[-1]: column_range
+            for name, column_range in qualified_ranges.items()
+        }
+        limit = top if top is not None else None
+        rids: List[int] = []
+
+        def _take(rid: int, row: Tuple[object, ...]) -> bool:
+            if predicate(row):
+                rids.append(rid)
+                if limit is not None and len(rids) >= limit:
+                    return True
+            return False
+
+        primary = table.primary
+        # 1) Primary B+ tree seek on its key prefix.
+        if isinstance(primary, PrimaryBTreeIndex):
+            bounds = _prefix_bounds_for(primary.key_columns, ranges)
+            scanned = 0
+            for rid, row in primary.seek_range(bounds[0], bounds[1], ctx,
+                                               low_inclusive=bounds[2],
+                                               high_inclusive=bounds[3]):
+                scanned += 1
+                if _take(rid, row):
+                    break
+            ctx.charge_serial_cpu(
+                scanned * ctx.cost_model.row_cpu_ms_per_row)
+            return rids
+        # 2) Secondary B+ tree seek with lookups.
+        best_index = self._best_secondary_for(table, ranges)
+        if best_index is not None:
+            bounds = _prefix_bounds_for(best_index.key_columns, ranges)
+            scanned = 0
+            for rid, _ in best_index.seek_range(bounds[0], bounds[1], ctx,
+                                                low_inclusive=bounds[2],
+                                                high_inclusive=bounds[3]):
+                scanned += 1
+                row = table.get_row(rid)
+                ctx.charge_random_read(1)
+                if _take(rid, row):
+                    break
+            ctx.charge_serial_cpu(
+                scanned * ctx.cost_model.row_cpu_ms_per_row * 2)
+            return rids
+        # 3) Primary columnstore scan with segment elimination.
+        if isinstance(primary, ColumnstoreIndex):
+            elimination = {
+                column: column_range.as_bounds()
+                for column, column_range in ranges.items()
+            }
+            needed = (
+                [c for c in _bare_columns(where, table)]
+                or [table.schema.columns[0].name]
+            )
+            done = False
+            for batch in primary.scan(needed, ctx,
+                                      elimination_ranges=elimination or None,
+                                      include_rids=True):
+                ctx.charge_serial_cpu(
+                    len(batch) * ctx.cost_model.batch_cpu_ms_per_row)
+                if where is not None:
+                    renamed = {
+                        f"{table.name}.{c}": batch.column(c) for c in needed
+                    }
+                    renamed.update({c: batch.column(c) for c in needed})
+                    from repro.engine.batch import Batch
+                    mask = eval_batch(where, Batch(renamed))
+                else:
+                    mask = np.ones(len(batch), dtype=bool)
+                for rid in batch.column(RID_COLUMN)[mask].tolist():
+                    rids.append(int(rid))
+                    if limit is not None and len(rids) >= limit:
+                        done = True
+                        break
+                if done:
+                    break
+            return rids
+        # 4) Heap scan.
+        scanned = 0
+        for rid, row in primary.scan(ctx):
+            scanned += 1
+            if _take(rid, row):
+                break
+        ctx.charge_serial_cpu(scanned * ctx.cost_model.row_cpu_ms_per_row)
+        return rids
+
+    def _best_secondary_for(self, table: Table, ranges: Dict[str, ColumnRange]
+                            ) -> Optional[SecondaryBTreeIndex]:
+        best = None
+        for index in table.secondary_btrees():
+            leading = index.key_columns[0]
+            if leading in ranges:
+                if best is None or len(index.key_columns) < len(
+                        best.key_columns):
+                    best = index
+        return best
+
+    def _run_update(self, bound: BoundUpdate,
+                    ctx: ExecutionContext) -> QueryResult:
+        table = bound.table
+        rids = self._locate_rids(table, bound.where, bound.top, ctx)
+        positions = self._positions_for(table)
+        assignment_ordinals = [
+            (table.schema.ordinal(column), expr)
+            for column, expr in bound.assignments
+        ]
+        updates = []
+        for rid in rids:
+            row = table.get_row(rid)
+            new_row = list(row)
+            for ordinal, expr in assignment_ordinals:
+                new_row[ordinal] = eval_row(expr, row, positions)
+            updates.append((rid, tuple(new_row)))
+        table.update_rids(updates, ctx)
+        ctx.metrics.rows_returned = 0
+        return QueryResult(columns=[], rows=[], metrics=ctx.metrics,
+                           rows_affected=len(updates))
+
+    def _run_delete(self, bound: BoundDelete,
+                    ctx: ExecutionContext) -> QueryResult:
+        table = bound.table
+        rids = self._locate_rids(table, bound.where, bound.top, ctx)
+        table.delete_rids(rids, ctx)
+        return QueryResult(columns=[], rows=[], metrics=ctx.metrics,
+                           rows_affected=len(rids))
+
+    def _run_insert(self, bound: BoundInsert,
+                    ctx: ExecutionContext) -> QueryResult:
+        for row in bound.rows:
+            bound.table.insert_row(row, ctx)
+        return QueryResult(columns=[], rows=[], metrics=ctx.metrics,
+                           rows_affected=len(bound.rows))
+
+
+def _prefix_bounds_for(key_columns: Sequence[str],
+                       ranges: Dict[str, ColumnRange]):
+    """Composite-key seek bounds from per-column ranges: points along the
+    key prefix, optionally ending in one non-point range."""
+    from repro.engine.operators.scans import compose_prefix_bounds
+    seek_ranges = []
+    for column in key_columns:
+        column_range = ranges.get(column)
+        if column_range is None:
+            break
+        seek_ranges.append(column_range)
+        if not column_range.is_point:
+            break
+    if not seek_ranges:
+        return None, None, True, True
+    return compose_prefix_bounds(seek_ranges)
+
+
+def _bare_columns(where: Optional[Expr], table: Table) -> List[str]:
+    if where is None:
+        return []
+    out = []
+    for name in where.columns():
+        bare = name.split(".", 1)[-1]
+        if bare in table.schema and bare not in out:
+            out.append(bare)
+    return out

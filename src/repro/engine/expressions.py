@@ -1,0 +1,428 @@
+"""Scalar expressions and predicates.
+
+One expression AST serves the whole stack: the SQL parser produces it, the
+optimizer analyses it (conjunct extraction, sargable-range derivation for
+index seeks and segment elimination), and the executor evaluates it in
+both row mode (per-tuple) and batch mode (vectorized over numpy arrays).
+
+Supported nodes: column references, literals, arithmetic (+ - * /),
+comparisons (= != < <= > >=), BETWEEN, IN, AND/OR/NOT.
+
+NULL semantics follow SQL's three-valued logic for comparisons: any
+comparison with NULL is not-true, so filters drop those rows. (Full
+UNKNOWN propagation through NOT is simplified to two-valued logic after
+the comparison level, which matches every query in the reproduced
+workloads.)
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+from repro.engine.batch import Batch
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def columns(self) -> List[str]:
+        """All column names referenced by this expression."""
+        out: List[str] = []
+        self._collect_columns(out)
+        return out
+
+    def _collect_columns(self, out: List[str]) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    """Reference to a column by (qualified or bare) name."""
+
+    name: str
+
+    def _collect_columns(self, out: List[str]) -> None:
+        out.append(self.name)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant value."""
+    value: object
+
+    def _collect_columns(self, out: List[str]) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_ARITH_OPS: Dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+_COMPARE_OPS: Dict[str, Callable] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_NEGATED = {"=": "!=", "!=": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<"}
+_FLIPPED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass(frozen=True)
+class Arithmetic(Expr):
+    """Binary arithmetic: + - * /."""
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _ARITH_OPS:
+            raise ExecutionError(f"unknown arithmetic operator {self.op!r}")
+
+    def _collect_columns(self, out: List[str]) -> None:
+        self.left._collect_columns(out)
+        self.right._collect_columns(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Comparison(Expr):
+    """Binary comparison: = != < <= > >=."""
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self):
+        if self.op not in _COMPARE_OPS:
+            raise ExecutionError(f"unknown comparison operator {self.op!r}")
+
+    def _collect_columns(self, out: List[str]) -> None:
+        self.left._collect_columns(out)
+        self.right._collect_columns(out)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    """SQL BETWEEN: low <= subject <= high, all inclusive."""
+    subject: Expr
+    low: Expr
+    high: Expr
+
+    def _collect_columns(self, out: List[str]) -> None:
+        self.subject._collect_columns(out)
+        self.low._collect_columns(out)
+        self.high._collect_columns(out)
+
+    def __str__(self) -> str:
+        return f"({self.subject} BETWEEN {self.low} AND {self.high})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """SQL IN over a literal value list."""
+    subject: Expr
+    values: Tuple[object, ...]
+
+    def _collect_columns(self, out: List[str]) -> None:
+        self.subject._collect_columns(out)
+
+    def __str__(self) -> str:
+        return f"({self.subject} IN {self.values})"
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    """Conjunction of two or more predicates."""
+    operands: Tuple[Expr, ...]
+
+    def _collect_columns(self, out: List[str]) -> None:
+        for op in self.operands:
+            op._collect_columns(out)
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    """Disjunction of two or more predicates."""
+    operands: Tuple[Expr, ...]
+
+    def _collect_columns(self, out: List[str]) -> None:
+        for op in self.operands:
+            op._collect_columns(out)
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(o) for o in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    """Logical negation."""
+    operand: Expr
+
+    def _collect_columns(self, out: List[str]) -> None:
+        self.operand._collect_columns(out)
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+def make_and(operands: Sequence[Expr]) -> Optional[Expr]:
+    """AND together expressions, flattening; None for an empty list."""
+    flat: List[Expr] = []
+    for op in operands:
+        if op is None:
+            continue
+        if isinstance(op, And):
+            flat.extend(op.operands)
+        else:
+            flat.append(op)
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def conjuncts(expr: Optional[Expr]) -> List[Expr]:
+    """Split an expression into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, And):
+        out: List[Expr] = []
+        for op in expr.operands:
+            out.extend(conjuncts(op))
+        return out
+    return [expr]
+
+
+# --------------------------------------------------------------- row mode
+def eval_row(expr: Expr, row: Sequence[object], positions: Dict[str, int]) -> object:
+    """Evaluate an expression against one row tuple.
+
+    ``positions`` maps column names to tuple positions. Comparisons with
+    NULL evaluate to False (SQL not-true).
+    """
+    if isinstance(expr, ColumnRef):
+        try:
+            return row[positions[expr.name]]
+        except KeyError:
+            raise ExecutionError(f"unknown column {expr.name!r}") from None
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Arithmetic):
+        left = eval_row(expr.left, row, positions)
+        right = eval_row(expr.right, row, positions)
+        if left is None or right is None:
+            return None
+        return _ARITH_OPS[expr.op](left, right)
+    if isinstance(expr, Comparison):
+        left = eval_row(expr.left, row, positions)
+        right = eval_row(expr.right, row, positions)
+        if left is None or right is None:
+            return False
+        return bool(_COMPARE_OPS[expr.op](left, right))
+    if isinstance(expr, Between):
+        value = eval_row(expr.subject, row, positions)
+        low = eval_row(expr.low, row, positions)
+        high = eval_row(expr.high, row, positions)
+        if value is None or low is None or high is None:
+            return False
+        return low <= value <= high
+    if isinstance(expr, InList):
+        value = eval_row(expr.subject, row, positions)
+        if value is None:
+            return False
+        return value in expr.values
+    if isinstance(expr, And):
+        return all(eval_row(op, row, positions) for op in expr.operands)
+    if isinstance(expr, Or):
+        return any(eval_row(op, row, positions) for op in expr.operands)
+    if isinstance(expr, Not):
+        return not eval_row(expr.operand, row, positions)
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
+
+
+def compile_row_predicate(
+    expr: Optional[Expr], positions: Dict[str, int]
+) -> Callable[[Sequence[object]], bool]:
+    """Return a fast row -> bool callable for a (possibly None) predicate."""
+    if expr is None:
+        return lambda row: True
+    return lambda row: bool(eval_row(expr, row, positions))
+
+
+# -------------------------------------------------------------- batch mode
+def eval_batch(expr: Expr, batch: Batch) -> np.ndarray:
+    """Vectorized evaluation: returns a value array or boolean mask."""
+    if isinstance(expr, ColumnRef):
+        return batch.column(expr.name)
+    if isinstance(expr, Literal):
+        return np.full(len(batch), expr.value)
+    if isinstance(expr, Arithmetic):
+        left = eval_batch(expr.left, batch)
+        right = eval_batch(expr.right, batch)
+        return _ARITH_OPS[expr.op](left, right)
+    if isinstance(expr, Comparison):
+        left = eval_batch(expr.left, batch)
+        right = eval_batch(expr.right, batch)
+        return _compare_arrays(expr.op, left, right)
+    if isinstance(expr, Between):
+        value = eval_batch(expr.subject, batch)
+        low = eval_batch(expr.low, batch)
+        high = eval_batch(expr.high, batch)
+        return _compare_arrays("<=", low, value) & _compare_arrays("<=", value, high)
+    if isinstance(expr, InList):
+        value = eval_batch(expr.subject, batch)
+        if value.dtype == object:
+            allowed = set(expr.values)
+            return np.fromiter((v in allowed for v in value), dtype=bool,
+                               count=len(value))
+        return np.isin(value, np.array(list(expr.values)))
+    if isinstance(expr, And):
+        mask = eval_batch(expr.operands[0], batch)
+        for op in expr.operands[1:]:
+            mask = mask & eval_batch(op, batch)
+        return mask
+    if isinstance(expr, Or):
+        mask = eval_batch(expr.operands[0], batch)
+        for op in expr.operands[1:]:
+            mask = mask | eval_batch(op, batch)
+        return mask
+    if isinstance(expr, Not):
+        return ~eval_batch(expr.operand, batch)
+    raise ExecutionError(f"cannot evaluate {type(expr).__name__} in batch mode")
+
+
+def _compare_arrays(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Comparison that treats object-array NULLs as not-true."""
+    left_obj = getattr(left, "dtype", None) == object
+    right_obj = getattr(right, "dtype", None) == object
+    if left_obj or right_obj:
+        compare = _COMPARE_OPS[op]
+        n = len(left) if hasattr(left, "__len__") else len(right)
+        out = np.zeros(n, dtype=bool)
+        for i in range(n):
+            lv = left[i] if hasattr(left, "__len__") else left
+            rv = right[i] if hasattr(right, "__len__") else right
+            if lv is None or rv is None:
+                continue
+            out[i] = compare(lv, rv)
+        return out
+    return _COMPARE_OPS[op](left, right)
+
+
+# ------------------------------------------------------ predicate analysis
+@dataclass
+class ColumnRange:
+    """A sargable interval derived from predicates on a single column."""
+
+    low: object = None
+    high: object = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+
+    def intersect_low(self, value: object, inclusive: bool) -> None:
+        """Tighten the lower bound with another predicate's bound."""
+        if self.low is None or value > self.low or (
+                value == self.low and not inclusive):
+            self.low = value
+            self.low_inclusive = inclusive
+
+    def intersect_high(self, value: object, inclusive: bool) -> None:
+        """Tighten the upper bound with another predicate's bound."""
+        if self.high is None or value < self.high or (
+                value == self.high and not inclusive):
+            self.high = value
+            self.high_inclusive = inclusive
+
+    @property
+    def is_point(self) -> bool:
+        """True when the range pins exactly one value."""
+        return (self.low is not None and self.low == self.high
+                and self.low_inclusive and self.high_inclusive)
+
+    def as_bounds(self) -> Tuple[object, object]:
+        """The range as a plain (low, high) tuple."""
+        return self.low, self.high
+
+
+def extract_column_ranges(expr: Optional[Expr]) -> Dict[str, ColumnRange]:
+    """Derive per-column sargable ranges from the AND-ed conjuncts.
+
+    Only simple ``column <op> literal`` conjuncts (and BETWEEN/IN with a
+    single value) contribute; everything else is ignored — it will be
+    applied as a residual filter. These ranges drive B+ tree seeks and
+    columnstore segment elimination.
+    """
+    ranges: Dict[str, ColumnRange] = {}
+    for conj in conjuncts(expr):
+        _absorb_conjunct(conj, ranges)
+    return ranges
+
+
+def _absorb_conjunct(conj: Expr, ranges: Dict[str, ColumnRange]) -> None:
+    if isinstance(conj, Between) and isinstance(conj.subject, ColumnRef):
+        if isinstance(conj.low, Literal) and isinstance(conj.high, Literal):
+            column_range = ranges.setdefault(conj.subject.name, ColumnRange())
+            column_range.intersect_low(conj.low.value, True)
+            column_range.intersect_high(conj.high.value, True)
+        return
+    if not isinstance(conj, Comparison):
+        return
+    left, right, op = conj.left, conj.right, conj.op
+    if isinstance(left, Literal) and isinstance(right, ColumnRef):
+        left, right = right, left
+        op = _FLIPPED[op]
+    if not (isinstance(left, ColumnRef) and isinstance(right, Literal)):
+        return
+    if right.value is None:
+        return
+    if op == "!=":
+        return  # not sargable
+    column_range = ranges.setdefault(left.name, ColumnRange())
+    value = right.value
+    if op == "=":
+        column_range.intersect_low(value, True)
+        column_range.intersect_high(value, True)
+    elif op == "<":
+        column_range.intersect_high(value, False)
+    elif op == "<=":
+        column_range.intersect_high(value, True)
+    elif op == ">":
+        column_range.intersect_low(value, False)
+    elif op == ">=":
+        column_range.intersect_low(value, True)
+
+
+def elimination_ranges(
+    expr: Optional[Expr],
+) -> Dict[str, Tuple[object, object]]:
+    """Column -> (low, high) bounds for columnstore segment elimination."""
+    return {
+        name: column_range.as_bounds()
+        for name, column_range in extract_column_ranges(expr).items()
+    }

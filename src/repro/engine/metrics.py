@@ -1,0 +1,226 @@
+"""Per-query metrics and the execution context that accumulates them.
+
+The paper reports elapsed (execution) time, CPU time, data read, and query
+memory for each experiment. :class:`QueryMetrics` carries those observables;
+:class:`ExecutionContext` is threaded through every storage and operator
+call and converts physical events (rows processed, pages read, hash
+entries built) into charges using the :class:`repro.engine.costs.CostModel`.
+
+Elapsed vs CPU time: serial work adds equally to both. Parallel work adds
+its full cost to CPU (times a coordination overhead) but only
+``cost / dop`` to elapsed time, plus a fixed parallel startup charge —
+reproducing the dip-in-elapsed / jump-in-CPU at the serial→parallel
+transition visible in Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.errors import ExecutionError
+from repro.engine.costs import DEFAULT_COST_MODEL, MB, CostModel
+
+
+@dataclass
+class QueryMetrics:
+    """Observable outcomes of one statement execution."""
+
+    elapsed_ms: float = 0.0
+    cpu_ms: float = 0.0
+    data_read_mb: float = 0.0
+    data_written_mb: float = 0.0
+    pages_read: int = 0
+    rows_returned: int = 0
+    memory_peak_bytes: int = 0
+    spilled_bytes: int = 0
+    lock_wait_ms: float = 0.0
+    dop: int = 1
+    #: Leaf data-access counts by index kind, for Figure 10
+    #: ("percentage of leaf nodes accessing columnstore vs B+ tree").
+    leaf_accesses: Dict[str, int] = field(default_factory=dict)
+    #: Row groups eliminated by segment min/max metadata (Figure 2).
+    segments_skipped: int = 0
+    segments_read: int = 0
+
+    def record_leaf_access(self, index_kind: str) -> None:
+        """Count one data access through the given index kind."""
+        self.leaf_accesses[index_kind] = self.leaf_accesses.get(index_kind, 0) + 1
+
+    def merge(self, other: "QueryMetrics") -> None:
+        """Accumulate another statement's metrics into this one."""
+        self.elapsed_ms += other.elapsed_ms
+        self.cpu_ms += other.cpu_ms
+        self.data_read_mb += other.data_read_mb
+        self.data_written_mb += other.data_written_mb
+        self.pages_read += other.pages_read
+        self.rows_returned += other.rows_returned
+        self.memory_peak_bytes = max(self.memory_peak_bytes, other.memory_peak_bytes)
+        self.spilled_bytes += other.spilled_bytes
+        self.lock_wait_ms += other.lock_wait_ms
+        self.dop = max(self.dop, other.dop)
+        for kind, count in other.leaf_accesses.items():
+            self.leaf_accesses[kind] = self.leaf_accesses.get(kind, 0) + count
+        self.segments_skipped += other.segments_skipped
+        self.segments_read += other.segments_read
+
+
+class ExecutionContext:
+    """Mutable per-statement execution state.
+
+    Parameters
+    ----------
+    cost_model:
+        Constant table used to convert events into milliseconds.
+    cold:
+        When True, data pages are charged storage I/O (the paper's "cold
+        runs"); when False everything is memory resident ("hot runs").
+    memory_grant_bytes:
+        Working-memory limit for sorts and hash tables. Operators that
+        would exceed it must spill (Figure 4's constrained-memory setup).
+    dop:
+        Degree of parallelism for the *current* parallel region; operators
+        enter/leave parallel regions via :meth:`charge_parallel_cpu`.
+    """
+
+    def __init__(
+        self,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        cold: bool = False,
+        memory_grant_bytes: Optional[int] = None,
+    ):
+        self.cost_model = cost_model
+        self.cold = cold
+        self.memory_grant_bytes = (
+            memory_grant_bytes
+            if memory_grant_bytes is not None
+            else cost_model.default_memory_grant_bytes
+        )
+        self.metrics = QueryMetrics()
+        self._memory_in_use = 0
+
+    # ------------------------------------------------------------- CPU
+    def charge_serial_cpu(self, ms: float) -> None:
+        """Serial work: adds to both CPU and elapsed time."""
+        self.metrics.cpu_ms += ms
+        self.metrics.elapsed_ms += ms
+
+    def charge_parallel_cpu(self, ms: float, dop: int) -> None:
+        """Parallel work at degree ``dop``.
+
+        CPU grows by the full cost inflated by coordination overhead;
+        elapsed only by ``ms / dop``. ``dop == 1`` degrades to serial.
+        """
+        dop = max(1, min(dop, self.cost_model.max_dop))
+        if dop == 1:
+            self.charge_serial_cpu(ms)
+            return
+        self.metrics.cpu_ms += ms * self.cost_model.parallel_cpu_overhead
+        self.metrics.elapsed_ms += ms / dop
+        self.metrics.dop = max(self.metrics.dop, dop)
+
+    def charge_parallel_startup(self, dop: int) -> None:
+        """Fixed elapsed cost of spinning up a parallel region."""
+        if dop > 1:
+            self.metrics.elapsed_ms += self.cost_model.parallel_startup_ms
+            self.metrics.cpu_ms += self.cost_model.parallel_startup_ms * dop * 0.1
+
+    def choose_dop(self, estimated_rows: int) -> int:
+        """The engine's parallelism heuristic: serial below a row
+        threshold, max DOP above it (Figure 1's DOP 1 -> 40 jump)."""
+        if estimated_rows < self.cost_model.parallel_row_threshold:
+            return 1
+        return self.cost_model.max_dop
+
+    # ------------------------------------------------------------- I/O
+    def charge_random_read(self, pages: int) -> None:
+        """Random page reads (B+ tree traversals / RID lookups), charged
+        only on cold runs."""
+        if not self.cold or pages <= 0:
+            return
+        cm = self.cost_model
+        self.metrics.pages_read += pages
+        self.metrics.data_read_mb += pages * cm.page_bytes / MB
+        self.metrics.elapsed_ms += pages * cm.random_io_ms_per_page
+        # I/O wait consumes negligible CPU.
+
+    def charge_btree_scan_read(self, data_bytes: float) -> None:
+        """Leaf-chain scan reads at B+ tree effective bandwidth."""
+        if not self.cold or data_bytes <= 0:
+            return
+        cm = self.cost_model
+        mb = data_bytes / MB
+        self.metrics.pages_read += int(data_bytes // cm.page_bytes) + 1
+        self.metrics.data_read_mb += mb
+        self.metrics.elapsed_ms += mb * cm.btree_scan_io_ms_per_mb
+
+    def charge_seq_read(self, data_bytes: float) -> None:
+        """Large sequential reads (columnstore segments)."""
+        if not self.cold or data_bytes <= 0:
+            return
+        cm = self.cost_model
+        mb = data_bytes / MB
+        self.metrics.pages_read += int(data_bytes // cm.page_bytes) + 1
+        self.metrics.data_read_mb += mb
+        self.metrics.elapsed_ms += mb * cm.seq_io_ms_per_mb
+
+    def record_data_read(self, data_bytes: float) -> None:
+        """Account logical data volume on hot runs (Figure 2(b) reports
+        data read even for memory-resident executions)."""
+        if self.cold:
+            return  # already recorded by the charge_* call
+        self.metrics.data_read_mb += data_bytes / MB
+
+    def charge_write(self, data_bytes: float) -> None:
+        """Charge write I/O for the given number of bytes."""
+        cm = self.cost_model
+        mb = data_bytes / MB
+        self.metrics.data_written_mb += mb
+        self.metrics.elapsed_ms += mb * cm.write_io_ms_per_mb
+
+    # ----------------------------------------------------------- memory
+    def acquire_memory(self, nbytes: int) -> bool:
+        """Try to reserve ``nbytes`` of workspace memory.
+
+        Returns False when the grant would be exceeded — the caller must
+        then use a spilling implementation. Never raises; running out of
+        grant is a normal, modelled condition.
+        """
+        if self._memory_in_use + nbytes > self.memory_grant_bytes:
+            return False
+        self._memory_in_use += nbytes
+        self.metrics.memory_peak_bytes = max(
+            self.metrics.memory_peak_bytes, self._memory_in_use
+        )
+        return True
+
+    def release_memory(self, nbytes: int) -> None:
+        """Return previously acquired workspace memory."""
+        self._memory_in_use -= nbytes
+        if self._memory_in_use < 0:
+            raise ExecutionError("memory accounting underflow")
+
+    @property
+    def memory_in_use(self) -> int:
+        """Currently reserved workspace bytes."""
+        return self._memory_in_use
+
+    def charge_spill(self, nbytes: int) -> None:
+        """A sort or hash operator wrote ``nbytes`` to tempdb and will read
+        it back: charge write + read I/O regardless of hot/cold (spills
+        always hit storage) plus extra CPU."""
+        cm = self.cost_model
+        mb = nbytes / MB
+        self.metrics.spilled_bytes += nbytes
+        self.metrics.data_written_mb += mb
+        self.metrics.elapsed_ms += mb * (cm.write_io_ms_per_mb + cm.seq_io_ms_per_mb)
+
+    # ------------------------------------------------------------- misc
+    def charge_lock_wait(self, ms: float) -> None:
+        """Add blocked time to elapsed (lock waits burn no CPU)."""
+        self.metrics.lock_wait_ms += ms
+        self.metrics.elapsed_ms += ms
+
+    def charge_statement_overhead(self) -> None:
+        """Fixed per-statement cost (parse, plan cache, logging)."""
+        self.charge_serial_cpu(self.cost_model.statement_overhead_ms)

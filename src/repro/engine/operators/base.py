@@ -1,0 +1,110 @@
+"""Physical operator base class and shared helpers.
+
+All operators exchange :class:`~repro.engine.batch.Batch` objects, but each
+declares an execution **mode**:
+
+* ``row`` — row-at-a-time processing, charged at
+  ``CostModel.row_cpu_ms_per_row`` (B+ tree plans);
+* ``batch`` — vectorized processing, charged at
+  ``CostModel.batch_cpu_ms_per_row`` (columnstore plans).
+
+This mirrors SQL Server's row mode vs batch mode split that the paper
+identifies as a key source of the columnstore's scan advantage.
+
+Operators also carry a ``dop`` (degree of parallelism) assigned by the
+optimizer; per-row CPU is charged through
+:meth:`ExecutionContext.charge_parallel_cpu`, which splits elapsed time
+across workers while inflating total CPU — reproducing the Figure 1
+behaviour where the serial→parallel switch drops elapsed time but raises
+CPU time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core.errors import ExecutionError
+from repro.engine.batch import Batch
+from repro.engine.metrics import ExecutionContext
+
+ROW_MODE = "row"
+BATCH_MODE = "batch"
+
+#: Target batch size when pivoting row streams into batches.
+DEFAULT_BATCH_ROWS = 4096
+
+
+class PhysicalOperator:
+    """Base class: a node in a physical plan tree."""
+
+    mode: str = ROW_MODE
+
+    def __init__(self, children: Sequence["PhysicalOperator"] = (), dop: int = 1):
+        self.children: List[PhysicalOperator] = list(children)
+        self.dop = max(1, dop)
+
+    @property
+    def output_columns(self) -> List[str]:
+        """Names of the columns this operator produces, in order."""
+        raise NotImplementedError
+
+    @property
+    def output_ordering(self) -> List[str]:
+        """Columns the output is sorted by (prefix order); [] if unsorted."""
+        return []
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ costing
+    def charge_rows(self, ctx: ExecutionContext, n_rows: int,
+                    weight: float = 1.0) -> None:
+        """Charge per-row processing CPU for ``n_rows`` at this operator's
+        mode and degree of parallelism."""
+        if n_rows <= 0:
+            return
+        cm = ctx.cost_model
+        per_row = (cm.batch_cpu_ms_per_row if self.mode == BATCH_MODE
+                   else cm.row_cpu_ms_per_row)
+        ctx.charge_parallel_cpu(n_rows * per_row * weight, self.dop)
+
+    # ------------------------------------------------------------ plumbing
+    def child(self, i: int = 0) -> "PhysicalOperator":
+        """The i-th child operator (ExecutionError when missing)."""
+        try:
+            return self.children[i]
+        except IndexError:
+            raise ExecutionError(
+                f"{type(self).__name__} has no child {i}"
+            ) from None
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        """Pre-order traversal of the plan tree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def explain(self, indent: int = 0) -> str:
+        """Readable plan tree, used by examples and Figure 10 analysis."""
+        line = " " * indent + self.describe()
+        parts = [line]
+        for child in self.children:
+            parts.append(child.explain(indent + 2))
+        return "\n".join(parts)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        return f"{type(self).__name__} [{self.mode} mode, dop={self.dop}]"
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+def require_columns(available: Sequence[str], needed: Sequence[str],
+                    where: str) -> None:
+    """Raise ExecutionError unless every needed column is available."""
+    missing = [c for c in needed if c not in available]
+    if missing:
+        raise ExecutionError(f"{where}: missing columns {missing} "
+                             f"(available: {list(available)})")

@@ -1,0 +1,406 @@
+"""Leaf operators: heap scans, B+ tree seeks/scans, RID lookups, and
+columnstore scans.
+
+These are the access paths the optimizer chooses among, and the leaves
+counted in Figure 10's plan-composition analysis. Every scan records a
+``leaf_access`` metric tagged with the index kind it reads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+from repro.engine.batch import Batch, rows_to_batch
+from repro.engine.expressions import (
+    ColumnRange,
+    Expr,
+    compile_row_predicate,
+    eval_batch,
+)
+from repro.engine.metrics import ExecutionContext
+from repro.engine.operators.base import (
+    BATCH_MODE,
+    DEFAULT_BATCH_ROWS,
+    PhysicalOperator,
+    ROW_MODE,
+)
+from repro.storage.btree import PrimaryBTreeIndex, SecondaryBTreeIndex
+from repro.storage.columnstore import RID_COLUMN, ColumnstoreIndex
+from repro.storage.heap import HeapFile
+from repro.storage.table import Table
+
+
+def _qualify(prefix: str, names: Sequence[str]) -> List[str]:
+    return [prefix + name for name in names]
+
+
+def compose_prefix_bounds(ranges: Sequence[ColumnRange]):
+    """Build composite-key seek bounds from per-column ranges.
+
+    ``ranges`` aligns with the index's leading key columns; every entry
+    but the last must be a point (equality), the last may be a range —
+    the classic composite-key sargability rule. Returns
+    (low_tuple, high_tuple, low_inclusive, high_inclusive) with ``None``
+    for open bounds.
+    """
+    if not ranges:
+        return None, None, True, True
+    for column_range in ranges[:-1]:
+        if not column_range.is_point:
+            raise ExecutionError(
+                "only the last seek column may be a non-point range")
+    points = [r.low for r in ranges[:-1]]
+    final = ranges[-1]
+    low_inclusive = high_inclusive = True
+    if final.low is not None:
+        low = tuple(points) + (final.low,)
+        low_inclusive = final.low_inclusive
+    elif points:
+        low = tuple(points)
+    else:
+        low = None
+    if final.high is not None:
+        high = tuple(points) + (final.high,)
+        high_inclusive = final.high_inclusive
+    elif points:
+        high = tuple(points)
+    else:
+        high = None
+    return low, high, low_inclusive, high_inclusive
+
+
+class _ScanBase(PhysicalOperator):
+    """Shared bits for leaf scans: output naming and residual filters."""
+
+    def __init__(
+        self,
+        table: Table,
+        columns: Sequence[str],
+        residual: Optional[Expr] = None,
+        prefix: str = "",
+        dop: int = 1,
+    ):
+        super().__init__(children=(), dop=dop)
+        self.table = table
+        self.columns = list(columns)
+        self.residual = residual
+        self.prefix = prefix
+        self._ordinals = table.schema.ordinals(self.columns)
+
+    @property
+    def output_columns(self) -> List[str]:
+        """Names of the columns produced, in order."""
+        return _qualify(self.prefix, self.columns)
+
+    def _rows_to_output_batch(self, rows: List[Tuple[object, ...]]) -> Optional[Batch]:
+        return rows_to_batch(rows, self.output_columns)
+
+    def _residual_positions(self) -> Dict[str, int]:
+        # Residual predicates reference qualified output names.
+        return {name: i for i, name in enumerate(self.output_columns)}
+
+
+class HeapScan(_ScanBase):
+    """Full scan of a heap file (row mode)."""
+
+    mode = ROW_MODE
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        heap = self.table.primary
+        if not isinstance(heap, HeapFile):
+            raise ExecutionError(f"{self.table.name} primary is not a heap")
+        ctx.charge_parallel_startup(self.dop)
+        predicate = compile_row_predicate(self.residual, self._residual_positions())
+        pending: List[Tuple[object, ...]] = []
+        scanned = 0
+        for _, row in heap.scan(ctx):
+            scanned += 1
+            projected = tuple(row[i] for i in self._ordinals)
+            if predicate(projected):
+                pending.append(projected)
+            if len(pending) >= DEFAULT_BATCH_ROWS:
+                batch = self._rows_to_output_batch(pending)
+                if batch is not None:
+                    yield batch
+                pending = []
+        self.charge_rows(ctx, scanned)
+        ctx.metrics.record_leaf_access("heap")
+        batch = self._rows_to_output_batch(pending)
+        if batch is not None:
+            yield batch
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        return (f"HeapScan({self.table.name}) cols={self.columns} "
+                f"[{self.mode}, dop={self.dop}]")
+
+
+class BTreeSeek(_ScanBase):
+    """Range seek (or full ordered scan) on the clustered B+ tree.
+
+    ``key_range`` bounds the leading key column; ``None`` means a full
+    scan of the leaf chain. Output is ordered by the index key columns.
+    """
+
+    mode = ROW_MODE
+
+    def __init__(
+        self,
+        table: Table,
+        columns: Sequence[str],
+        key_range: Optional[ColumnRange] = None,
+        key_ranges: Optional[Sequence[ColumnRange]] = None,
+        residual: Optional[Expr] = None,
+        prefix: str = "",
+        dop: int = 1,
+    ):
+        super().__init__(table, columns, residual, prefix, dop)
+        if not isinstance(table.primary, PrimaryBTreeIndex):
+            raise ExecutionError(
+                f"{table.name} primary is not a clustered B+ tree")
+        self.index: PrimaryBTreeIndex = table.primary
+        if key_ranges is None and key_range is not None:
+            key_ranges = [key_range]
+        self.key_ranges = list(key_ranges) if key_ranges else None
+        self.key_range = self.key_ranges[0] if self.key_ranges else None
+
+    @property
+    def output_ordering(self) -> List[str]:
+        """Sorted-prefix columns of the output ([] when unsorted)."""
+        return _qualify(self.prefix, self.index.key_columns)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        low, high, low_inc, high_inc = (
+            compose_prefix_bounds(self.key_ranges) if self.key_ranges
+            else (None, None, True, True))
+        ctx.charge_parallel_startup(self.dop)
+        predicate = compile_row_predicate(self.residual, self._residual_positions())
+        pending: List[Tuple[object, ...]] = []
+        scanned = 0
+        for _, row in self.index.seek_range(
+                low, high, ctx, low_inclusive=low_inc, high_inclusive=high_inc):
+            scanned += 1
+            projected = tuple(row[i] for i in self._ordinals)
+            if predicate(projected):
+                pending.append(projected)
+            if len(pending) >= DEFAULT_BATCH_ROWS:
+                batch = self._rows_to_output_batch(pending)
+                if batch is not None:
+                    yield batch
+                pending = []
+        self.charge_rows(ctx, scanned)
+        ctx.metrics.record_leaf_access("btree")
+        batch = self._rows_to_output_batch(pending)
+        if batch is not None:
+            yield batch
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        bounds = "full" if self.key_range is None else (
+            f"[{self.key_range.low}..{self.key_range.high}]")
+        return (f"BTreeSeek({self.table.name}.{self.index.name} {bounds}) "
+                f"cols={self.columns} [{self.mode}, dop={self.dop}]")
+
+
+class SecondaryBTreeSeek(_ScanBase):
+    """Seek on a nonclustered B+ tree, with RID lookups for non-covered
+    columns (the classic bookmark-lookup plan whose random I/O makes
+    secondary seeks expensive at high selectivity)."""
+
+    mode = ROW_MODE
+
+    def __init__(
+        self,
+        table: Table,
+        index: SecondaryBTreeIndex,
+        columns: Sequence[str],
+        key_range: Optional[ColumnRange] = None,
+        key_ranges: Optional[Sequence[ColumnRange]] = None,
+        residual: Optional[Expr] = None,
+        prefix: str = "",
+        dop: int = 1,
+    ):
+        super().__init__(table, columns, residual, prefix, dop)
+        self.index = index
+        if key_ranges is None and key_range is not None:
+            key_ranges = [key_range]
+        self.key_ranges = list(key_ranges) if key_ranges else None
+        self.key_range = self.key_ranges[0] if self.key_ranges else None
+        covered = set(index.covered_columns)
+        self.lookup_columns = [c for c in self.columns if c not in covered]
+        self.needs_lookup = bool(self.lookup_columns)
+        self._covered_pos = {
+            name: i for i, name in enumerate(index.covered_columns)
+        }
+        self._lookup_ordinals = table.schema.ordinals(self.lookup_columns)
+
+    @property
+    def output_ordering(self) -> List[str]:
+        """Sorted-prefix columns of the output ([] when unsorted)."""
+        return _qualify(self.prefix, self.index.key_columns)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        low, high, low_inc, high_inc = (
+            compose_prefix_bounds(self.key_ranges) if self.key_ranges
+            else (None, None, True, True))
+        ctx.charge_parallel_startup(self.dop)
+        predicate = compile_row_predicate(self.residual, self._residual_positions())
+        pending: List[Tuple[object, ...]] = []
+        scanned = 0
+        for rid, covered_values in self.index.seek_range(
+                low, high, ctx, low_inclusive=low_inc, high_inclusive=high_inc):
+            scanned += 1
+            if self.needs_lookup:
+                fetched = self.table.fetch_columns(rid, self._lookup_ordinals, ctx)
+                lookup = dict(zip(self.lookup_columns, fetched))
+            else:
+                lookup = {}
+            projected = tuple(
+                covered_values[self._covered_pos[c]] if c in self._covered_pos
+                else lookup[c]
+                for c in self.columns
+            )
+            if predicate(projected):
+                pending.append(projected)
+            if len(pending) >= DEFAULT_BATCH_ROWS:
+                batch = self._rows_to_output_batch(pending)
+                if batch is not None:
+                    yield batch
+                pending = []
+        self.charge_rows(ctx, scanned, weight=2.0 if self.needs_lookup else 1.0)
+        ctx.metrics.record_leaf_access("btree")
+        batch = self._rows_to_output_batch(pending)
+        if batch is not None:
+            yield batch
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        bounds = "full" if self.key_range is None else (
+            f"[{self.key_range.low}..{self.key_range.high}]")
+        lookup = " +lookup" if self.needs_lookup else ""
+        return (f"SecondaryBTreeSeek({self.table.name}.{self.index.name} "
+                f"{bounds}){lookup} cols={self.columns} "
+                f"[{self.mode}, dop={self.dop}]")
+
+
+class ColumnstoreScan(_ScanBase):
+    """Batch-mode scan of a columnstore index with predicate pushdown.
+
+    Pushes sargable ranges into segment elimination and applies the full
+    predicate vectorized over each decoded batch.
+    """
+
+    mode = BATCH_MODE
+
+    def __init__(
+        self,
+        table: Table,
+        index: ColumnstoreIndex,
+        columns: Sequence[str],
+        pushdown_ranges: Optional[Dict[str, Tuple[object, object]]] = None,
+        residual: Optional[Expr] = None,
+        prefix: str = "",
+        dop: int = 1,
+        include_rids: bool = False,
+    ):
+        super().__init__(table, columns, residual, prefix, dop)
+        self.index = index
+        self.pushdown_ranges = pushdown_ranges or {}
+        self.include_rids = include_rids
+        #: Bare column names the scan must decode: projected + filtered.
+        filter_columns = residual.columns() if residual is not None else []
+        bare_filter = [c[len(prefix):] if c.startswith(prefix) else c
+                       for c in filter_columns]
+        self._read_columns = list(dict.fromkeys(list(columns) + bare_filter))
+
+    @property
+    def output_columns(self) -> List[str]:
+        """Names of the columns produced, in order."""
+        names = _qualify(self.prefix, self.columns)
+        if self.include_rids:
+            names.append(RID_COLUMN)
+        return names
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        ctx.charge_parallel_startup(self.dop)
+        output_names = _qualify(self.prefix, self._read_columns)
+        total = 0
+        for raw in self.index.scan(
+                self._read_columns, ctx,
+                elimination_ranges=self.pushdown_ranges or None,
+                include_rids=self.include_rids):
+            total += len(raw)
+            renamed = {}
+            for bare, qualified in zip(self._read_columns, output_names):
+                renamed[qualified] = raw.column(bare)
+            if self.include_rids:
+                renamed[RID_COLUMN] = raw.column(RID_COLUMN)
+            batch = Batch(renamed)
+            if self.residual is not None:
+                mask = eval_batch(self.residual, batch)
+                batch = batch.filter(mask)
+            if len(batch) > 0:
+                wanted = self.output_columns
+                yield batch.project(wanted)
+        self.charge_rows(ctx, total)
+        ctx.metrics.record_leaf_access("csi")
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        push = f" push={sorted(self.pushdown_ranges)}" if self.pushdown_ranges else ""
+        return (f"ColumnstoreScan({self.table.name}.{self.index.name})"
+                f"{push} cols={self.columns} [{self.mode}, dop={self.dop}]")
+
+
+class RidLookup(PhysicalOperator):
+    """Fetch extra columns from the base table for each input RID.
+
+    Used when a columnstore scan feeds a plan that needs columns the CSI
+    does not store, or by UPDATE/DELETE plans locating target rows.
+    """
+
+    mode = ROW_MODE
+
+    def __init__(self, child: PhysicalOperator, table: Table,
+                 columns: Sequence[str], prefix: str = "", dop: int = 1):
+        super().__init__(children=(child,), dop=dop)
+        self.table = table
+        self.columns = list(columns)
+        self.prefix = prefix
+        self._ordinals = table.schema.ordinals(self.columns)
+
+    @property
+    def output_columns(self) -> List[str]:
+        """Names of the columns produced, in order."""
+        return self.child().output_columns + _qualify(self.prefix, self.columns)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        new_names = _qualify(self.prefix, self.columns)
+        for batch in self.child().execute(ctx):
+            rids = batch.column(RID_COLUMN)
+            fetched_rows = [
+                self.table.fetch_columns(int(rid), self._ordinals, ctx)
+                for rid in rids
+            ]
+            self.charge_rows(ctx, len(batch))
+            columns = dict(batch.columns)
+            extra = rows_to_batch(fetched_rows, new_names)
+            if extra is not None:
+                for name in new_names:
+                    columns[name] = extra.column(name)
+                yield Batch(columns)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        return (f"RidLookup({self.table.name}) cols={self.columns} "
+                f"[{self.mode}, dop={self.dop}]")
+
+

@@ -1,0 +1,128 @@
+"""Sort operator with memory-grant accounting and spill.
+
+Figure 3 of the paper contrasts plans that must sort (CSI scan + sort, or
+B+ tree on the filter column + sort) with plans that exploit B+ tree sort
+order (no sort at all, near-zero query memory). Figure 4's disk-based
+aggregation behaviour comes from the same grant/spill machinery shared
+with the hash aggregate.
+
+The sort is a blocking operator: it drains its child, reserves workspace
+memory for the materialized input, and — when the memory grant is
+insufficient — charges an external-merge-sort spill (write + re-read of
+the input) plus extra CPU, while still producing exact results.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import math
+
+import numpy as np
+
+from repro.core.errors import ExecutionError
+from repro.engine.batch import Batch, concat_batches
+from repro.engine.metrics import ExecutionContext
+from repro.engine.operators.base import PhysicalOperator
+
+
+class SortKey:
+    """One ORDER BY term: a column name and direction."""
+
+    __slots__ = ("column", "descending")
+
+    def __init__(self, column: str, descending: bool = False):
+        self.column = column
+        self.descending = descending
+
+    def __repr__(self) -> str:
+        return f"{self.column} {'DESC' if self.descending else 'ASC'}"
+
+
+class Sort(PhysicalOperator):
+    """Full sort of the child's output by one or more keys."""
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[SortKey],
+                 dop: int = 1):
+        super().__init__(children=(child,), dop=dop)
+        if not keys:
+            raise ExecutionError("Sort needs at least one key")
+        self.keys = list(keys)
+        self.mode = child.mode
+
+    @property
+    def output_columns(self) -> List[str]:
+        """Names of the columns produced, in order."""
+        return self.child().output_columns
+
+    @property
+    def output_ordering(self) -> List[str]:
+        """Sorted-prefix columns of the output ([] when unsorted)."""
+        if any(k.descending for k in self.keys):
+            return []
+        return [k.column for k in self.keys]
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        """Run the operator, yielding result batches."""
+        merged = concat_batches(self.child().execute(ctx))
+        if merged is None:
+            return
+        n = len(merged)
+        payload = merged.payload_bytes()
+        in_memory = ctx.acquire_memory(payload)
+        if not in_memory:
+            # External merge sort: the whole input is written to tempdb
+            # run files and read back during the merge.
+            ctx.charge_spill(payload)
+        cm = ctx.cost_model
+        sort_cost = n * max(1.0, math.log2(max(n, 2))) * cm.sort_cpu_ms_per_row_log
+        if not in_memory:
+            sort_cost *= cm.spill_cpu_multiplier
+        ctx.charge_parallel_cpu(sort_cost, self.dop)
+
+        order = self._argsort(merged)
+        result = merged.take(order)
+        if in_memory:
+            ctx.release_memory(payload)
+        yield result
+
+    def _argsort(self, batch: Batch) -> np.ndarray:
+        # np.lexsort uses the last key as primary: feed keys reversed.
+        arrays = []
+        for key in reversed(self.keys):
+            values = batch.column(key.column)
+            values = _sortable_array(values)
+            if key.descending:
+                values = _descending_view(values)
+            arrays.append(values)
+        return np.lexsort(arrays)
+
+    def describe(self) -> str:
+        """One-line human-readable summary of this node."""
+        return f"Sort({self.keys}) [{self.mode}, dop={self.dop}]"
+
+
+def _sortable_array(values: np.ndarray) -> np.ndarray:
+    """Object arrays (strings, NULLs) sort via rank codes; NULLs first."""
+    if values.dtype != object:
+        return values
+    keyed = [(v is not None, v) for v in values]
+    order = sorted(range(len(keyed)), key=lambda i: keyed[i])
+    ranks = np.empty(len(values), dtype=np.int64)
+    rank = 0
+    previous = None
+    for position, i in enumerate(order):
+        if position > 0 and keyed[i] != previous:
+            rank += 1
+        ranks[i] = rank
+        previous = keyed[i]
+    return ranks
+
+
+def _descending_view(values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind in ("i", "u"):
+        return -values.astype(np.int64)
+    if values.dtype.kind == "f":
+        return -values
+    # Rank codes from _sortable_array are ints, so this covers objects too.
+    return -values.astype(np.int64)

@@ -1,0 +1,164 @@
+"""Query Store: per-query execution history and aggregates.
+
+The paper's methodology monitors query performance "using the Query
+Store" and SQL Server's Dynamic Management Views (Sections 3.1 and
+5.2.1: "We use SQL Server's Dynamic Management Views to obtain a query's
+CPU time"). This module provides the equivalent observability surface:
+attach a :class:`QueryStore` to an :class:`~repro.engine.executor.Executor`
+and every executed statement is recorded with its metrics and chosen
+plan fingerprint; aggregates (count, total/mean CPU, median elapsed,
+plan changes) are queryable per statement text.
+
+The advisor's workload files can be bootstrapped from a Query Store
+capture — exactly how DTA users feed production workloads into tuning.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.engine.metrics import QueryMetrics
+
+
+@dataclass
+class QueryExecution:
+    """One recorded execution."""
+
+    cpu_ms: float
+    elapsed_ms: float
+    data_read_mb: float
+    rows_returned: int
+    plan_fingerprint: str
+
+
+@dataclass
+class QueryStats:
+    """Aggregates over all executions of one statement text."""
+
+    sql: str
+    executions: List[QueryExecution] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded executions."""
+        return len(self.executions)
+
+    @property
+    def total_cpu_ms(self) -> float:
+        """Total CPU time across all executions."""
+        return sum(e.cpu_ms for e in self.executions)
+
+    @property
+    def mean_cpu_ms(self) -> float:
+        """Average CPU time per execution."""
+        return self.total_cpu_ms / self.count if self.count else 0.0
+
+    @property
+    def median_elapsed_ms(self) -> float:
+        """Median elapsed time per execution."""
+        if not self.executions:
+            return 0.0
+        return statistics.median(e.elapsed_ms for e in self.executions)
+
+    @property
+    def plan_fingerprints(self) -> List[str]:
+        """Distinct plans observed, in first-seen order (plan regressions
+        show up as a fingerprint change)."""
+        seen: List[str] = []
+        for execution in self.executions:
+            if execution.plan_fingerprint not in seen:
+                seen.append(execution.plan_fingerprint)
+        return seen
+
+    @property
+    def had_plan_change(self) -> bool:
+        """True when more than one distinct plan was observed."""
+        return len(self.plan_fingerprints) > 1
+
+
+class QueryStore:
+    """Records executions; query by text or rank by resource usage."""
+
+    def __init__(self, capacity: int = 10_000):
+        self.capacity = capacity
+        self._stats: Dict[str, QueryStats] = {}
+        self._recorded = 0
+
+    def record(self, sql: str, metrics: QueryMetrics,
+               plan_fingerprint: str = "") -> None:
+        """Record one execution of ``sql``."""
+        stats = self._stats.get(sql)
+        if stats is None:
+            stats = QueryStats(sql=sql)
+            self._stats[sql] = stats
+        stats.executions.append(QueryExecution(
+            cpu_ms=metrics.cpu_ms,
+            elapsed_ms=metrics.elapsed_ms,
+            data_read_mb=metrics.data_read_mb,
+            rows_returned=metrics.rows_returned,
+            plan_fingerprint=plan_fingerprint,
+        ))
+        self._recorded += 1
+        if len(stats.executions) > self.capacity:
+            stats.executions.pop(0)
+
+    def __len__(self) -> int:
+        return len(self._stats)
+
+    @property
+    def recorded_executions(self) -> int:
+        """Total executions recorded (across all statements)."""
+        return self._recorded
+
+    def stats(self, sql: str) -> Optional[QueryStats]:
+        """Aggregates for one statement text, or None if never seen."""
+        return self._stats.get(sql)
+
+    def top_by_cpu(self, n: int = 10) -> List[QueryStats]:
+        """The statements consuming the most total CPU — the classic
+        "what should I tune?" Query Store view."""
+        ordered = sorted(self._stats.values(),
+                         key=lambda s: s.total_cpu_ms, reverse=True)
+        return ordered[:n]
+
+    def regressed_queries(self) -> List[QueryStats]:
+        """Statements whose plan changed between executions (the signal
+        SQL Server's Automatic Plan Correction acts on, Section 5.2.1)."""
+        return [s for s in self._stats.values() if s.had_plan_change]
+
+    def as_workload(self, weight_by_frequency: bool = True
+                    ) -> List[Tuple[str, float]]:
+        """Export (sql, weight) pairs for the tuning advisor, weighting
+        each statement by how often it ran."""
+        out = []
+        for stats in self._stats.values():
+            weight = float(stats.count) if weight_by_frequency else 1.0
+            out.append((stats.sql, weight))
+        return out
+
+    def clear(self) -> None:
+        """Forget all recorded history."""
+        self._stats.clear()
+        self._recorded = 0
+
+
+def plan_fingerprint(planned) -> str:
+    """Stable fingerprint of a plan's shape: node kinds + leaf indexes."""
+    if planned is None:
+        return ""
+    parts = []
+    for node in planned.root.walk():
+        label = type(node).__name__
+        descriptor = getattr(node, "descriptor", None)
+        if descriptor is not None:
+            label += f"[{descriptor.name}]"
+        method = getattr(node, "method", None)
+        if method:
+            label += f"({method})"
+        strategy = getattr(node, "strategy", None)
+        if strategy:
+            label += f"({strategy})"
+        parts.append(label)
+    return "->".join(parts)

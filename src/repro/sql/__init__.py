@@ -1,0 +1,6 @@
+"""SQL front end: lexer, parser, AST, binder."""
+
+from repro.sql.parser import parse
+from repro.sql.binder import Binder
+
+__all__ = ["parse", "Binder"]

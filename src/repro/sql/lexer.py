@@ -1,0 +1,160 @@
+"""Tokenizer for the SQL subset.
+
+Produces a flat token list consumed by the recursive-descent parser.
+Supported lexemes: identifiers (optionally ``schema.column`` qualified via
+separate DOT tokens), integer/float literals, single-quoted strings with
+``''`` escaping, operators, parentheses, commas, and ``?`` parameter
+markers. Keywords are case-insensitive; identifiers preserve case but
+compare case-sensitively against the catalog (all generated workloads use
+lowercase).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core.errors import SqlError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "having",
+    "and", "or", "not", "between", "in", "as", "asc", "desc",
+    "join", "inner", "on", "top", "limit", "insert", "into", "values",
+    "update", "set", "delete", "sum", "count", "avg", "min", "max",
+    "date", "dateadd", "day", "null", "distinct",
+}
+
+# Token types
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+COMMA = "COMMA"
+DOT = "DOT"
+STAR = "STAR"
+PARAM = "PARAM"
+EOF = "EOF"
+
+_OPERATORS = ("<=", ">=", "!=", "<>", "=", "<", ">", "+", "-", "/", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexed token: type, value, and source position."""
+    type: str
+    value: object
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}@{self.position})"
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize ``sql``; raises :class:`SqlError` on unknown characters."""
+    tokens: List[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and sql[i + 1] == "-":
+            # Line comment.
+            while i < n and sql[i] != "\n":
+                i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token(LPAREN, "(", i))
+            i += 1
+            continue
+        if ch == ")":
+            tokens.append(Token(RPAREN, ")", i))
+            i += 1
+            continue
+        if ch == ",":
+            tokens.append(Token(COMMA, ",", i))
+            i += 1
+            continue
+        if ch == "?":
+            tokens.append(Token(PARAM, "?", i))
+            i += 1
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(STRING, value, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            lowered = word.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token(KEYWORD, lowered, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        if ch == ".":
+            tokens.append(Token(DOT, ".", i))
+            i += 1
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                if op == "*":
+                    tokens.append(Token(STAR, "*", i))
+                elif op == "<>":
+                    tokens.append(Token(OP, "!=", i))
+                else:
+                    tokens.append(Token(OP, op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        raise SqlError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _read_string(sql: str, i: int):
+    """Read a single-quoted string starting at ``i``; '' escapes a quote."""
+    i += 1
+    parts: List[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlError("unterminated string literal")
+
+
+def _read_number(sql: str, i: int):
+    start = i
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            # A trailing dot followed by a non-digit is a qualifier dot.
+            if i + 1 >= n or not sql[i + 1].isdigit():
+                break
+            seen_dot = True
+        i += 1
+    text = sql[start:i]
+    if seen_dot:
+        return float(text), i
+    return int(text), i

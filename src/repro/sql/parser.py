@@ -1,0 +1,474 @@
+"""Recursive-descent parser for the SQL subset.
+
+Grammar (informally)::
+
+    statement   := select | update | delete | insert
+    select      := SELECT [DISTINCT] [TOP (n)] items FROM ref join* [WHERE e]
+                   [GROUP BY exprs] [ORDER BY order_items] [LIMIT n]
+    join        := [INNER] JOIN ref ON e
+    update      := UPDATE [TOP (n)] name SET col = e (, col = e)* [WHERE e]
+    delete      := DELETE [TOP (n)] FROM name [WHERE e]
+    insert      := INSERT INTO name [(cols)] VALUES (e, ...)(, (e, ...))*
+
+    e           := or_e
+    or_e        := and_e (OR and_e)*
+    and_e       := not_e (AND not_e)*
+    not_e       := NOT not_e | predicate
+    predicate   := additive [BETWEEN additive AND additive
+                            | IN (literal, ...) | cmp additive]
+    additive    := multiplicative ((+|-) multiplicative)*
+    multiplicative := unary ((*|/) unary)*
+    unary       := - unary | primary
+    primary     := literal | DATE 'yyyy-mm-dd' | DATEADD(DAY, e, e)
+                 | agg ( [*|e] ) | qualified_name | ( e ) | ?
+
+``?`` markers are replaced by positional parameters supplied to
+:func:`parse`, so workloads can reuse one statement text with different
+constants (the paper's ``{1}`` placeholders).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+from typing import List, Optional, Sequence
+
+from repro.core.errors import SqlError
+from repro.core.types import date_to_int
+from repro.engine.expressions import (
+    And,
+    Arithmetic,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    InList,
+    Literal,
+    Not,
+    Or,
+)
+from repro.sql.ast import (
+    AggregateCall,
+    Assignment,
+    DeleteStmt,
+    InsertStmt,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStmt,
+    Star,
+    TableRef,
+    UpdateStmt,
+)
+from repro.sql.lexer import (
+    COMMA,
+    DOT,
+    EOF,
+    IDENT,
+    KEYWORD,
+    LPAREN,
+    NUMBER,
+    OP,
+    PARAM,
+    RPAREN,
+    STAR,
+    STRING,
+    Token,
+    tokenize,
+)
+
+_AGG_KEYWORDS = ("sum", "count", "avg", "min", "max")
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], params: Sequence[object]):
+        self.tokens = tokens
+        self.pos = 0
+        self.params = list(params)
+        self.param_index = 0
+
+    # ----------------------------------------------------------- plumbing
+    def peek(self, offset: int = 0) -> Token:
+        """Look at the token ``offset`` positions ahead without consuming."""
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        """Consume and return the current token."""
+        token = self.tokens[self.pos]
+        if token.type != EOF:
+            self.pos += 1
+        return token
+
+    def accept_keyword(self, *words: str) -> Optional[str]:
+        """Consume the next token if it is one of the given keywords."""
+        token = self.peek()
+        if token.type == KEYWORD and token.value in words:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_keyword(self, word: str) -> None:
+        """Consume the given keyword or raise SqlError."""
+        if not self.accept_keyword(word):
+            raise SqlError(f"expected {word.upper()}, got {self.peek()!r}")
+
+    def accept(self, token_type: str) -> Optional[Token]:
+        """Consume the next token if it has the given type."""
+        if self.peek().type == token_type:
+            return self.advance()
+        return None
+
+    def expect(self, token_type: str) -> Token:
+        """Consume a token of the given type or raise SqlError."""
+        token = self.accept(token_type)
+        if token is None:
+            raise SqlError(f"expected {token_type}, got {self.peek()!r}")
+        return token
+
+    # --------------------------------------------------------- statements
+    def parse_statement(self):
+        """Parse one complete statement."""
+        if self.accept_keyword("select"):
+            stmt = self.parse_select()
+        elif self.accept_keyword("update"):
+            stmt = self.parse_update()
+        elif self.accept_keyword("delete"):
+            stmt = self.parse_delete()
+        elif self.accept_keyword("insert"):
+            stmt = self.parse_insert()
+        else:
+            raise SqlError(f"expected a statement, got {self.peek()!r}")
+        if self.peek().type != EOF:
+            raise SqlError(f"trailing tokens after statement: {self.peek()!r}")
+        return stmt
+
+    def parse_select(self) -> SelectStmt:
+        """Parse a SELECT statement body."""
+        distinct = bool(self.accept_keyword("distinct"))
+        top = self._parse_top()
+        items = self._parse_select_items()
+        self.expect_keyword("from")
+        from_table = self._parse_table_ref()
+        joins: List[JoinClause] = []
+        while True:
+            if self.accept_keyword("inner"):
+                self.expect_keyword("join")
+            elif not self.accept_keyword("join"):
+                break
+            table = self._parse_table_ref()
+            self.expect_keyword("on")
+            condition = self.parse_expr()
+            joins.append(JoinClause(table, condition))
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        group_by: List[Expr] = []
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            group_by.append(self.parse_expr())
+            while self.accept(COMMA):
+                group_by.append(self.parse_expr())
+        order_by: List[OrderItem] = []
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            order_by.append(self._parse_order_item())
+            while self.accept(COMMA):
+                order_by.append(self._parse_order_item())
+        if self.accept_keyword("limit"):
+            limit_token = self.expect(NUMBER)
+            limit = int(limit_token.value)
+            top = limit if top is None else min(top, limit)
+        return SelectStmt(
+            items=items, from_table=from_table, joins=joins, where=where,
+            group_by=group_by, order_by=order_by, top=top, distinct=distinct,
+        )
+
+    def parse_update(self) -> UpdateStmt:
+        """Parse an UPDATE statement body."""
+        top = self._parse_top()
+        table = self._parse_table_ref(allow_alias=False)
+        self.expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while self.accept(COMMA):
+            assignments.append(self._parse_assignment())
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return UpdateStmt(table=table, assignments=assignments, where=where,
+                          top=top)
+
+    def parse_delete(self) -> DeleteStmt:
+        """Parse a DELETE statement body."""
+        top = self._parse_top()
+        self.expect_keyword("from")
+        table = self._parse_table_ref(allow_alias=False)
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return DeleteStmt(table=table, where=where, top=top)
+
+    def parse_insert(self) -> InsertStmt:
+        """Parse an INSERT statement body."""
+        self.expect_keyword("into")
+        table = self._parse_table_ref(allow_alias=False)
+        columns: List[str] = []
+        if self.accept(LPAREN):
+            columns.append(self.expect(IDENT).value)
+            while self.accept(COMMA):
+                columns.append(self.expect(IDENT).value)
+            self.expect(RPAREN)
+        self.expect_keyword("values")
+        rows = [self._parse_value_row()]
+        while self.accept(COMMA):
+            rows.append(self._parse_value_row())
+        return InsertStmt(table=table, columns=columns, rows=rows)
+
+    # ------------------------------------------------------------- pieces
+    def _parse_top(self) -> Optional[int]:
+        if not self.accept_keyword("top"):
+            return None
+        parenthesized = self.accept(LPAREN) is not None
+        value = self._parse_count_value()
+        if parenthesized:
+            self.expect(RPAREN)
+        return value
+
+    def _parse_count_value(self) -> int:
+        if self.peek().type == PARAM:
+            self.advance()
+            return int(self._next_param())
+        return int(self.expect(NUMBER).value)
+
+    def _next_param(self) -> object:
+        if self.param_index >= len(self.params):
+            raise SqlError("not enough parameters supplied for '?' markers")
+        value = self.params[self.param_index]
+        self.param_index += 1
+        return value
+
+    def _parse_select_items(self) -> List[SelectItem]:
+        items = [self._parse_select_item()]
+        while self.accept(COMMA):
+            items.append(self._parse_select_item())
+        return items
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.peek().type == STAR:
+            self.advance()
+            return SelectItem(Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect(IDENT).value
+        elif self.peek().type == IDENT:
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _parse_table_ref(self, allow_alias: bool = True) -> TableRef:
+        name = self.expect(IDENT).value
+        alias = None
+        if allow_alias:
+            if self.accept_keyword("as"):
+                alias = self.expect(IDENT).value
+            elif self.peek().type == IDENT:
+                alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("desc"):
+            descending = True
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr, descending)
+
+    def _parse_assignment(self) -> Assignment:
+        column = self.expect(IDENT).value
+        op_token = self.expect(OP)
+        if op_token.value == "=":
+            value = self.parse_expr()
+        elif op_token.value in ("+", "-") and self.peek().type == OP \
+                and self.peek().value == "=":
+            # 'col += expr' compound assignment (used by the paper's Q4).
+            self.advance()
+            rhs = self.parse_expr()
+            value = Arithmetic(op_token.value, ColumnRef(column), rhs)
+        else:
+            raise SqlError(f"bad assignment operator at {op_token!r}")
+        return Assignment(column, value)
+
+    def _parse_value_row(self) -> List[Expr]:
+        self.expect(LPAREN)
+        values = [self.parse_expr()]
+        while self.accept(COMMA):
+            values.append(self.parse_expr())
+        self.expect(RPAREN)
+        return values
+
+    # -------------------------------------------------------- expressions
+    def parse_expr(self) -> Expr:
+        """Parse an expression at the lowest (OR) precedence level."""
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        operands = [left]
+        while self.accept_keyword("or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return left
+        return Or(tuple(operands))
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_not()
+        operands = [left]
+        while self.accept_keyword("and"):
+            operands.append(self._parse_not())
+        if len(operands) == 1:
+            return left
+        return And(tuple(operands))
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        if self.accept_keyword("between"):
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            return Between(left, low, high)
+        if self.accept_keyword("in"):
+            self.expect(LPAREN)
+            values = [self._parse_literal_value()]
+            while self.accept(COMMA):
+                values.append(self._parse_literal_value())
+            self.expect(RPAREN)
+            return InList(left, tuple(values))
+        token = self.peek()
+        if token.type == OP and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self.advance()
+            right = self._parse_additive()
+            return Comparison(token.value, left, right)
+        return left
+
+    def _parse_literal_value(self) -> object:
+        token = self.peek()
+        if token.type == NUMBER:
+            self.advance()
+            return token.value
+        if token.type == STRING:
+            self.advance()
+            return token.value
+        if token.type == PARAM:
+            self.advance()
+            return self._next_param()
+        if token.type == KEYWORD and token.value == "null":
+            self.advance()
+            return None
+        raise SqlError(f"expected literal in IN list, got {token!r}")
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type == OP and token.value in ("+", "-"):
+                self.advance()
+                right = self._parse_multiplicative()
+                left = Arithmetic(token.value, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.peek()
+            if (token.type == OP and token.value == "/") or token.type == STAR:
+                op = "/" if token.type == OP else "*"
+                self.advance()
+                right = self._parse_unary()
+                left = Arithmetic(op, left, right)
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        token = self.peek()
+        if token.type == OP and token.value == "-":
+            self.advance()
+            operand = self._parse_unary()
+            if isinstance(operand, Literal) and isinstance(
+                    operand.value, (int, float)):
+                return Literal(-operand.value)
+            return Arithmetic("-", Literal(0), operand)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.peek()
+        if token.type == NUMBER:
+            self.advance()
+            return Literal(token.value)
+        if token.type == STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type == PARAM:
+            self.advance()
+            return Literal(self._next_param())
+        if token.type == LPAREN:
+            self.advance()
+            expr = self.parse_expr()
+            self.expect(RPAREN)
+            return expr
+        if token.type == KEYWORD:
+            return self._parse_keyword_primary(token)
+        if token.type == IDENT:
+            return self._parse_name()
+        raise SqlError(f"unexpected token in expression: {token!r}")
+
+    def _parse_keyword_primary(self, token: Token) -> Expr:
+        if token.value == "null":
+            self.advance()
+            return Literal(None)
+        if token.value == "date":
+            self.advance()
+            text = self.expect(STRING).value
+            return Literal(_parse_date_literal(text))
+        if token.value == "dateadd":
+            self.advance()
+            self.expect(LPAREN)
+            self.expect_keyword("day")
+            self.expect(COMMA)
+            amount = self.parse_expr()
+            self.expect(COMMA)
+            base = self.parse_expr()
+            self.expect(RPAREN)
+            # Dates are day numbers, so DATEADD(DAY, n, d) is d + n.
+            return Arithmetic("+", base, amount)
+        if token.value in _AGG_KEYWORDS:
+            self.advance()
+            self.expect(LPAREN)
+            if self.peek().type == STAR:
+                self.advance()
+                argument = None
+                if token.value != "count":
+                    raise SqlError(f"{token.value}(*) is not valid")
+            else:
+                argument = self.parse_expr()
+            self.expect(RPAREN)
+            return AggregateCall(token.value, argument)
+        raise SqlError(f"unexpected keyword in expression: {token!r}")
+
+    def _parse_name(self) -> Expr:
+        first = self.expect(IDENT).value
+        if self.accept(DOT):
+            second = self.expect(IDENT).value
+            return ColumnRef(f"{first}.{second}")
+        return ColumnRef(first)
+
+
+def _parse_date_literal(text: str) -> int:
+    try:
+        return date_to_int(_dt.date.fromisoformat(text))
+    except ValueError:
+        raise SqlError(f"bad DATE literal {text!r}") from None
+
+
+def parse(sql: str, params: Sequence[object] = ()):
+    """Parse one SQL statement, substituting ``?`` markers from ``params``."""
+    parser = _Parser(tokenize(sql), params)
+    return parser.parse_statement()

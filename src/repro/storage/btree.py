@@ -1,0 +1,746 @@
+"""B+ tree index implementation.
+
+A genuine B+ tree with internal nodes, leaf chaining, splits and
+merge/borrow on underflow. Two index flavours wrap the tree:
+
+* :class:`PrimaryBTreeIndex` — the clustered index: full rows live in the
+  leaves, ordered by the key columns.
+* :class:`SecondaryBTreeIndex` — a nonclustered index: leaves hold the key
+  columns, any *included* columns, and the row id (RID) used to look up
+  the remaining columns in the primary structure.
+
+Because SQL Server uniquifies nonunique clustered keys, the internal sort
+key is always ``key_values + (rid,)`` which makes every entry unique and
+deletion exact.
+
+NULLs are not permitted in index key columns (the workloads in the paper's
+benchmarks never index nullable keys); inserting one raises
+:class:`~repro.core.errors.StorageError`.
+
+Cost accounting: index methods charge *I/O* (random page reads for
+traversals, leaf-chain bandwidth for range scans) against the supplied
+:class:`~repro.engine.metrics.ExecutionContext`. Per-row *CPU* is charged
+by the operators that consume the rows, so the same index can feed row-mode
+and batch-mode plans with different CPU costs.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import StorageError
+from repro.core.schema import TableSchema
+from repro.engine.metrics import ExecutionContext
+
+Key = Tuple[object, ...]
+Row = Tuple[object, ...]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "prev", "page_no")
+
+    def __init__(self) -> None:
+        self.keys: List[Key] = []
+        self.values: List[Row] = []
+        self.next: Optional["_Leaf"] = None
+        self.prev: Optional["_Leaf"] = None
+        self.page_no: int = -1
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        # children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: List[Key] = []
+        self.children: List[object] = []
+
+
+class BPlusTree:
+    """Ordered map from unique key tuples to payload rows.
+
+    ``leaf_capacity`` and ``internal_capacity`` are the maximum number of
+    entries per node; nodes split at capacity and borrow/merge when they
+    fall below half.
+    """
+
+    def __init__(self, leaf_capacity: int = 128, internal_capacity: int = 64):
+        if leaf_capacity < 4 or internal_capacity < 4:
+            raise StorageError("node capacity must be at least 4")
+        self.leaf_capacity = leaf_capacity
+        self.internal_capacity = internal_capacity
+        self._root: object = _Leaf()
+        self._height = 1
+        self._count = 0
+        self._next_page_no = 0
+        self._first_leaf: _Leaf = self._root  # type: ignore[assignment]
+        self._first_leaf.page_no = self._alloc_page()
+
+    def _alloc_page(self) -> int:
+        page = self._next_page_no
+        self._next_page_no += 1
+        return page
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Number of node levels from root to leaf."""
+        return self._height
+
+    @property
+    def leaf_count(self) -> int:
+        """Number of leaf nodes in the chain."""
+        count = 0
+        leaf = self._first_leaf
+        while leaf is not None:
+            count += 1
+            leaf = leaf.next
+        return count
+
+    # ------------------------------------------------------------ search
+    def _find_leaf(self, key: Key) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            idx = bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node  # type: ignore[return-value]
+
+    def get(self, key: Key) -> Optional[Row]:
+        """Look up the payload stored under ``key`` (None if absent)."""
+        leaf = self._find_leaf(key)
+        idx = bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    def scan_range(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[Key, Row]]:
+        """Yield (key, value) pairs with low <= key <= high in key order.
+
+        Open bounds are expressed with ``None``. Exclusive bounds via the
+        ``*_inclusive`` flags. Prefix bounds work naturally because Python
+        tuple comparison is lexicographic.
+        """
+        if low is None:
+            leaf: Optional[_Leaf] = self._first_leaf
+            idx = 0
+        else:
+            leaf = self._find_leaf(low)
+            if low_inclusive:
+                idx = bisect_left(leaf.keys, low)
+            else:
+                idx = bisect_right(leaf.keys, low)
+        while leaf is not None:
+            keys = leaf.keys
+            values = leaf.values
+            n = len(keys)
+            while idx < n:
+                key = keys[idx]
+                if high is not None:
+                    if high_inclusive:
+                        if key > high:
+                            return
+                    elif key >= high:
+                        return
+                yield key, values[idx]
+                idx += 1
+            leaf = leaf.next
+            idx = 0
+
+    def count_range(self, low: Optional[Key], high: Optional[Key]) -> int:
+        """Number of keys within the given bounds."""
+        return sum(1 for _ in self.scan_range(low, high))
+
+    def leaves_in_range(self, low: Optional[Key], high: Optional[Key]) -> int:
+        """Number of leaf pages a range scan over [low, high] touches."""
+        if low is None:
+            leaf: Optional[_Leaf] = self._first_leaf
+        else:
+            leaf = self._find_leaf(low)
+        pages = 0
+        while leaf is not None:
+            pages += 1
+            if high is not None and leaf.keys and leaf.keys[-1] > high:
+                break
+            leaf = leaf.next
+        return pages
+
+    # ------------------------------------------------------------ insert
+    def insert(self, key: Key, value: Row) -> None:
+        """Insert a unique key. Raises on duplicates."""
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+            self._height += 1
+        self._count += 1
+
+    def _insert_into(self, node: object, key: Key, value: Row):
+        if isinstance(node, _Leaf):
+            idx = bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                raise StorageError(f"duplicate index key {key!r}")
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            if len(node.keys) > self.leaf_capacity:
+                return self._split_leaf(node)
+            return None
+        assert isinstance(node, _Internal)
+        idx = bisect_right(node.keys, key)
+        split = self._insert_into(node.children[idx], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(idx, sep)
+        node.children.insert(idx + 1, right)
+        if len(node.children) > self.internal_capacity:
+            return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.page_no = self._alloc_page()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        if right.next is not None:
+            right.next.prev = right
+        right.prev = leaf
+        leaf.next = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Internal()
+        right.keys = node.keys[mid + 1:]
+        right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return sep, right
+
+    # ------------------------------------------------------------ delete
+    def delete(self, key: Key) -> Row:
+        """Remove ``key``; returns its payload. Raises if absent."""
+        removed = self._delete_from(self._root, key)
+        if isinstance(self._root, _Internal) and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+            self._height -= 1
+        self._count -= 1
+        return removed
+
+    def _delete_from(self, node: object, key: Key) -> Row:
+        if isinstance(node, _Leaf):
+            idx = bisect_left(node.keys, key)
+            if idx >= len(node.keys) or node.keys[idx] != key:
+                raise StorageError(f"index key not found: {key!r}")
+            node.keys.pop(idx)
+            return node.values.pop(idx)
+        assert isinstance(node, _Internal)
+        idx = bisect_right(node.keys, key)
+        removed = self._delete_from(node.children[idx], key)
+        self._rebalance_child(node, idx)
+        return removed
+
+    def _min_entries(self, node: object) -> int:
+        if isinstance(node, _Leaf):
+            return self.leaf_capacity // 2
+        return self.internal_capacity // 2
+
+    def _entries(self, node: object) -> int:
+        if isinstance(node, _Leaf):
+            return len(node.keys)
+        return len(node.children)  # type: ignore[union-attr]
+
+    def _rebalance_child(self, parent: _Internal, idx: int) -> None:
+        child = parent.children[idx]
+        if self._entries(child) >= self._min_entries(child):
+            return
+        left = parent.children[idx - 1] if idx > 0 else None
+        right = parent.children[idx + 1] if idx + 1 < len(parent.children) else None
+        if left is not None and self._entries(left) > self._min_entries(left):
+            self._borrow_from_left(parent, idx)
+        elif right is not None and self._entries(right) > self._min_entries(right):
+            self._borrow_from_right(parent, idx)
+        elif left is not None:
+            self._merge_children(parent, idx - 1)
+        elif right is not None:
+            self._merge_children(parent, idx)
+
+    def _borrow_from_left(self, parent: _Internal, idx: int) -> None:
+        left, child = parent.children[idx - 1], parent.children[idx]
+        if isinstance(child, _Leaf):
+            assert isinstance(left, _Leaf)
+            child.keys.insert(0, left.keys.pop())
+            child.values.insert(0, left.values.pop())
+            parent.keys[idx - 1] = child.keys[0]
+        else:
+            assert isinstance(left, _Internal) and isinstance(child, _Internal)
+            child.keys.insert(0, parent.keys[idx - 1])
+            parent.keys[idx - 1] = left.keys.pop()
+            child.children.insert(0, left.children.pop())
+
+    def _borrow_from_right(self, parent: _Internal, idx: int) -> None:
+        child, right = parent.children[idx], parent.children[idx + 1]
+        if isinstance(child, _Leaf):
+            assert isinstance(right, _Leaf)
+            child.keys.append(right.keys.pop(0))
+            child.values.append(right.values.pop(0))
+            parent.keys[idx] = right.keys[0]
+        else:
+            assert isinstance(right, _Internal) and isinstance(child, _Internal)
+            child.keys.append(parent.keys[idx])
+            parent.keys[idx] = right.keys.pop(0)
+            child.children.append(right.children.pop(0))
+
+    def _merge_children(self, parent: _Internal, idx: int) -> None:
+        left, right = parent.children[idx], parent.children[idx + 1]
+        if isinstance(left, _Leaf):
+            assert isinstance(right, _Leaf)
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next = right.next
+            if right.next is not None:
+                right.next.prev = left
+        else:
+            assert isinstance(left, _Internal) and isinstance(right, _Internal)
+            left.keys.append(parent.keys[idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(idx)
+        parent.children.pop(idx + 1)
+
+    # ---------------------------------------------------------- bulk load
+    @classmethod
+    def bulk_load(
+        cls,
+        items: Sequence[Tuple[Key, Row]],
+        leaf_capacity: int = 128,
+        internal_capacity: int = 64,
+    ) -> "BPlusTree":
+        """Build a tree bottom-up from *sorted* unique (key, value) pairs.
+
+        Leaves are filled to ~85% like a real bulk load, leaving headroom
+        for subsequent inserts.
+        """
+        tree = cls(leaf_capacity=leaf_capacity, internal_capacity=internal_capacity)
+        if not items:
+            return tree
+        for i in range(1, len(items)):
+            if items[i][0] <= items[i - 1][0]:
+                raise StorageError("bulk_load requires sorted unique keys")
+        fill = max(4, int(leaf_capacity * 0.85))
+        leaves: List[_Leaf] = []
+        for start in range(0, len(items), fill):
+            chunk = items[start:start + fill]
+            leaf = _Leaf()
+            leaf.page_no = tree._alloc_page() if leaves else tree._first_leaf.page_no
+            leaf.keys = [k for k, _ in chunk]
+            leaf.values = [v for _, v in chunk]
+            if leaves:
+                leaves[-1].next = leaf
+                leaf.prev = leaves[-1]
+            leaves.append(leaf)
+        tree._first_leaf = leaves[0]
+        tree._count = len(items)
+        # Build internal levels bottom-up.
+        level: List[object] = list(leaves)
+        separators = [leaf.keys[0] for leaf in leaves]
+        height = 1
+        fanout = max(4, int(internal_capacity * 0.85))
+        while len(level) > 1:
+            next_level: List[object] = []
+            next_seps: List[Key] = []
+            for start in range(0, len(level), fanout):
+                group = level[start:start + fanout]
+                node = _Internal()
+                node.children = list(group)
+                node.keys = separators[start + 1:start + len(group)]
+                next_level.append(node)
+                next_seps.append(separators[start])
+            level = next_level
+            separators = next_seps
+            height += 1
+        tree._root = level[0]
+        tree._height = height
+        return tree
+
+    def items(self) -> Iterator[Tuple[Key, Row]]:
+        """Iterate all (key, value) pairs in key order."""
+        return self.scan_range(None, None)
+
+    def check_invariants(self) -> None:
+        """Verify ordering and leaf-chain consistency (used by tests)."""
+        previous = None
+        count = 0
+        leaf = self._first_leaf
+        while leaf is not None:
+            for key in leaf.keys:
+                if previous is not None and key <= previous:
+                    raise StorageError(f"key order violated at {key!r}")
+                previous = key
+                count += 1
+            if leaf.next is not None and leaf.next.prev is not leaf:
+                raise StorageError("leaf chain back-pointer broken")
+            leaf = leaf.next
+        if count != self._count:
+            raise StorageError(f"count mismatch: chain {count} vs counter {self._count}")
+
+
+def _check_key_not_null(key_values: Sequence[object]) -> None:
+    if any(v is None for v in key_values):
+        raise StorageError("NULL is not allowed in index key columns")
+
+
+class _BTreeIndexBase:
+    """State and sizing shared by primary and secondary B+ tree indexes."""
+
+    kind = "btree"
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        key_columns: Sequence[str],
+        entry_byte_width: int,
+        object_id: int = 0,
+    ):
+        if not key_columns:
+            raise StorageError(f"index {name!r} needs at least one key column")
+        self.name = name
+        self.schema = schema
+        self.key_columns = list(key_columns)
+        self.key_ordinals = schema.ordinals(key_columns)
+        self.entry_byte_width = entry_byte_width
+        self.object_id = object_id
+        leaf_capacity = max(8, min(512, 8192 // max(1, entry_byte_width)))
+        self.tree = BPlusTree(leaf_capacity=leaf_capacity)
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    def size_bytes(self) -> int:
+        """Approximate on-disk size: entries plus ~2% internal overhead."""
+        data = len(self.tree) * self.entry_byte_width
+        return int(data * 1.02) + 8192
+
+    def _make_key(self, row: Row, rid: int) -> Key:
+        key_values = tuple(row[i] for i in self.key_ordinals)
+        _check_key_not_null(key_values)
+        return key_values + (rid,)
+
+    def _charge_traversal(self, ctx: Optional[ExecutionContext]) -> None:
+        if ctx is None:
+            return
+        ctx.charge_random_read(self.tree.height)
+        ctx.charge_serial_cpu(ctx.cost_model.seek_cpu_ms)
+
+    def _charge_range_io(
+        self, ctx: Optional[ExecutionContext], rows_touched: int
+    ) -> None:
+        if ctx is None:
+            return
+        nbytes = rows_touched * self.entry_byte_width
+        ctx.charge_btree_scan_read(nbytes)
+        ctx.record_data_read(nbytes)
+
+
+class PrimaryBTreeIndex(_BTreeIndexBase):
+    """Clustered B+ tree: the table's rows live in the leaves."""
+
+    is_primary = True
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        key_columns: Sequence[str],
+        object_id: int = 0,
+    ):
+        super().__init__(
+            name, schema, key_columns,
+            entry_byte_width=schema.row_byte_width, object_id=object_id,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        schema: TableSchema,
+        key_columns: Sequence[str],
+        rows_with_rids: Sequence[Tuple[int, Row]],
+        object_id: int = 0,
+    ) -> "PrimaryBTreeIndex":
+        """Construct and populate the demo database."""
+        index = cls(name, schema, key_columns, object_id=object_id)
+        ordinals = index.key_ordinals
+        items = []
+        for rid, row in rows_with_rids:
+            key_values = tuple(row[i] for i in ordinals)
+            _check_key_not_null(key_values)
+            items.append((key_values + (rid,), row))
+        items.sort(key=lambda kv: kv[0])
+        index.tree = BPlusTree.bulk_load(
+            items, leaf_capacity=index.tree.leaf_capacity
+        )
+        return index
+
+    def insert(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Insert one row, charging maintenance costs to ``ctx``."""
+        self._charge_traversal(ctx)
+        self.tree.insert(self._make_key(row, rid), row)
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
+
+    def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Delete one row, charging maintenance costs to ``ctx``."""
+        self._charge_traversal(ctx)
+        self.tree.delete(self._make_key(row, rid))
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
+
+    def update(
+        self,
+        rid: int,
+        old_row: Row,
+        new_row: Row,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> None:
+        """Update one row in place (delete+insert when keys change)."""
+        old_key = self._make_key(old_row, rid)
+        new_key = self._make_key(new_row, rid)
+        self._charge_traversal(ctx)
+        if old_key == new_key:
+            leaf = self.tree._find_leaf(old_key)
+            idx = bisect_left(leaf.keys, old_key)
+            if idx >= len(leaf.keys) or leaf.keys[idx] != old_key:
+                raise StorageError(f"row {rid} not found for in-place update")
+            leaf.values[idx] = new_row
+        else:
+            self.tree.delete(old_key)
+            self.tree.insert(new_key, new_row)
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
+
+    def seek_range(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        ctx: Optional[ExecutionContext] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[int, Row]]:
+        """Range scan on a key prefix; yields (rid, row) in key order.
+
+        ``low``/``high`` are key-column-value tuples (no rid); bounds are
+        padded so that inclusive/exclusive semantics apply per key prefix.
+        """
+        self._charge_traversal(ctx)
+        low_key, high_key = _pad_prefix_bounds(low, high, low_inclusive, high_inclusive)
+        rows = 0
+        for key, row in self.tree.scan_range(
+            low_key, high_key, low_inclusive, high_inclusive
+        ):
+            rows += 1
+            yield key[-1], row
+        self._charge_range_io(ctx, rows)
+
+    def scan(self, ctx: Optional[ExecutionContext] = None) -> Iterator[Tuple[int, Row]]:
+        """Full ordered scan of the leaf chain."""
+        rows = 0
+        for key, row in self.tree.items():
+            rows += 1
+            yield key[-1], row
+        self._charge_range_io(ctx, rows)
+
+    def lookup_rid(self, rid_to_row: Row, rid: int) -> Optional[Row]:
+        """Find the stored row for (row values, rid); None if absent."""
+        return self.tree.get(self._make_key(rid_to_row, rid))
+
+
+class SecondaryBTreeIndex(_BTreeIndexBase):
+    """Nonclustered B+ tree: leaves store key + included columns + RID."""
+
+    is_primary = False
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        key_columns: Sequence[str],
+        included_columns: Sequence[str] = (),
+        object_id: int = 0,
+    ):
+        overlap = set(key_columns) & set(included_columns)
+        if overlap:
+            raise StorageError(
+                f"columns {sorted(overlap)} are both key and included in {name!r}"
+            )
+        width = (
+            sum(schema.column(c).col_type.byte_width for c in key_columns)
+            + sum(schema.column(c).col_type.byte_width for c in included_columns)
+            + 8  # RID
+        )
+        super().__init__(name, schema, key_columns, entry_byte_width=width,
+                         object_id=object_id)
+        self.included_columns = list(included_columns)
+        self.included_ordinals = schema.ordinals(included_columns)
+        #: Columns available without a primary lookup, in payload order.
+        self.covered_columns = list(key_columns) + list(included_columns)
+
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        schema: TableSchema,
+        key_columns: Sequence[str],
+        rows_with_rids: Sequence[Tuple[int, Row]],
+        included_columns: Sequence[str] = (),
+        object_id: int = 0,
+    ) -> "SecondaryBTreeIndex":
+        """Construct and populate the demo database."""
+        index = cls(name, schema, key_columns, included_columns, object_id=object_id)
+        items = []
+        for rid, row in rows_with_rids:
+            key_values = tuple(row[i] for i in index.key_ordinals)
+            _check_key_not_null(key_values)
+            payload = tuple(row[i] for i in index.included_ordinals)
+            items.append((key_values + (rid,), payload))
+        items.sort(key=lambda kv: kv[0])
+        index.tree = BPlusTree.bulk_load(items, leaf_capacity=index.tree.leaf_capacity)
+        return index
+
+    def _payload(self, row: Row) -> Row:
+        return tuple(row[i] for i in self.included_ordinals)
+
+    def insert(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Insert one row, charging maintenance costs to ``ctx``."""
+        self._charge_traversal(ctx)
+        self.tree.insert(self._make_key(row, rid), self._payload(row))
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
+
+    def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Delete one row, charging maintenance costs to ``ctx``."""
+        self._charge_traversal(ctx)
+        self.tree.delete(self._make_key(row, rid))
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
+
+    def update(
+        self,
+        rid: int,
+        old_row: Row,
+        new_row: Row,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> None:
+        """Update one row in place (delete+insert when keys change)."""
+        old_key = self._make_key(old_row, rid)
+        new_key = self._make_key(new_row, rid)
+        relevant = self.key_ordinals + self.included_ordinals
+        if old_key == new_key and all(old_row[i] == new_row[i] for i in relevant):
+            return  # the index does not cover any modified column
+        self._charge_traversal(ctx)
+        self.tree.delete(old_key)
+        self.tree.insert(new_key, self._payload(new_row))
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
+
+    def seek_range(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        ctx: Optional[ExecutionContext] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[int, Row]]:
+        """Yields (rid, covered_values) where covered_values follows
+        ``self.covered_columns`` order."""
+        self._charge_traversal(ctx)
+        low_key, high_key = _pad_prefix_bounds(low, high, low_inclusive, high_inclusive)
+        rows = 0
+        for key, payload in self.tree.scan_range(
+            low_key, high_key, low_inclusive, high_inclusive
+        ):
+            rows += 1
+            yield key[-1], key[:-1] + payload
+        self._charge_range_io(ctx, rows)
+
+    def scan(self, ctx: Optional[ExecutionContext] = None) -> Iterator[Tuple[int, Row]]:
+        """Iterate the structure's rows/batches in storage order."""
+        yield from self.seek_range(None, None, ctx)
+
+
+class _Infinity:
+    """Sorts above every value of any type (used to pad prefix bounds)."""
+
+    def __lt__(self, other: object) -> bool:
+        return False
+
+    def __gt__(self, other: object) -> bool:
+        return True
+
+    def __le__(self, other: object) -> bool:
+        return other is self
+
+    def __ge__(self, other: object) -> bool:
+        return True
+
+    def __eq__(self, other: object) -> bool:
+        return other is self
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return "+inf"
+
+
+_INFINITY = _Infinity()
+
+
+def _pad_prefix_bounds(
+    low: Optional[Key],
+    high: Optional[Key],
+    low_inclusive: bool,
+    high_inclusive: bool,
+) -> Tuple[Optional[Key], Optional[Key]]:
+    """Convert prefix bounds on key columns into full-key bounds.
+
+    Stored keys end in a RID, so a prefix bound ``(5,)`` compares *below*
+    every stored key ``(5, rid)``. To make bounds behave per-prefix:
+
+    * an *exclusive* low bound must skip all keys with that prefix, so it
+      is padded with ``+inf``;
+    * an *inclusive* high bound must keep all keys with that prefix, so it
+      is padded with ``+inf``;
+    * the remaining two cases need no padding — tuple comparison against
+      the shorter prefix already does the right thing.
+    """
+    low_key: Optional[Key] = None
+    high_key: Optional[Key] = None
+    if low is not None:
+        low_key = tuple(low) if low_inclusive else tuple(low) + (_INFINITY,)
+    if high is not None:
+        high_key = tuple(high) + (_INFINITY,) if high_inclusive else tuple(high)
+    return low_key, high_key
+
+
+def math_ceil_pages(nbytes: int, page_bytes: int) -> int:
+    """Number of pages needed for ``nbytes``."""
+    return int(math.ceil(nbytes / page_bytes))

@@ -1,0 +1,98 @@
+"""A simple LRU buffer pool for partial-residency experiments.
+
+The paper's micro-benchmarks mostly use two extremes — fully cold (data on
+HDD) and fully hot (data memory resident) — which the executor models with
+the ``cold`` flag on :class:`repro.engine.metrics.ExecutionContext`. The
+buffer pool supports the in-between regime: a context holding a
+:class:`BufferPool` charges I/O only for pages that miss, and repeated runs
+warm the cache, so a "cold then hot" sequence can be produced by executing
+the same query twice against one pool.
+
+Pages are identified by ``(object_id, page_no)`` where ``object_id`` is an
+index- or heap-unique integer handed out by :class:`PageAllocator`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Tuple
+
+from repro.core.errors import StorageError
+
+PageId = Tuple[int, int]
+
+
+class PageAllocator:
+    """Hands out unique object ids to storage structures.
+
+    Each heap, B+ tree, or columnstore obtains one object id; its pages are
+    then ``(object_id, 0..n)``.
+    """
+
+    def __init__(self) -> None:
+        self._next_object_id = 1
+
+    def allocate_object(self) -> int:
+        """Hand out the next unique object id."""
+        oid = self._next_object_id
+        self._next_object_id += 1
+        return oid
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of pages.
+
+    ``capacity_pages`` bounds the number of resident pages. :meth:`touch`
+    returns the number of *missing* pages, which the caller converts to an
+    I/O charge; pages become resident afterwards.
+    """
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise StorageError("buffer pool capacity must be positive")
+        self.capacity_pages = capacity_pages
+        self._resident: "OrderedDict[PageId, None]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._resident)
+
+    def is_resident(self, page: PageId) -> bool:
+        """Whether the page is currently cached."""
+        return page in self._resident
+
+    def touch(self, pages: Iterable[PageId]) -> int:
+        """Access ``pages`` in order; return how many were misses."""
+        missed = 0
+        for page in pages:
+            if page in self._resident:
+                self._resident.move_to_end(page)
+                self.hits += 1
+            else:
+                missed += 1
+                self.misses += 1
+                self._resident[page] = None
+                if len(self._resident) > self.capacity_pages:
+                    self._resident.popitem(last=False)
+        return missed
+
+    def touch_range(self, object_id: int, start: int, count: int) -> int:
+        """Access a contiguous page range of one object; returns misses."""
+        return self.touch((object_id, p) for p in range(start, start + count))
+
+    def evict_object(self, object_id: int) -> None:
+        """Drop all pages of one object (index rebuild/drop)."""
+        stale = [p for p in self._resident if p[0] == object_id]
+        for page in stale:
+            del self._resident[page]
+
+    def clear(self) -> None:
+        """Forget all recorded history."""
+        self._resident.clear()
+
+    @property
+    def hit_ratio(self) -> float:
+        """Buffer-pool hits / total accesses."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,559 @@
+"""Columnstore index (CSI): compressed row groups, delta store, delete
+buffer / delete bitmap, segment elimination, and the tuple mover.
+
+Follows the SQL Server design described in Section 2 of the paper:
+
+* Data is split into **row groups** (a scaled-down 4K–64K rows here vs SQL
+  Server's 100K–1M); each column within a group forms a compressed
+  **column segment** with min/max metadata used for **segment
+  elimination**.
+* **Inserts** land in a B+ tree **delta store**; once the delta store
+  reaches the row-group size, the **tuple mover** compresses it into a new
+  row group (bulk loads go straight to compressed groups via ``build``).
+* **Deletes** differ between the two flavours:
+
+  - a **secondary** CSI has a *delete buffer* (a B+ tree of deleted row
+    locators): deleting is a cheap B+ tree insert, but every scan pays an
+    anti-semi join between the compressed groups and the buffer;
+  - a **primary** CSI has only the *delete bitmap*: deleting must first
+    locate the row's physical position, which requires scanning the
+    compressed row group — making small deletes expensive (Figure 5) —
+    but scans stay fast because positions are masked directly.
+
+* **Updates** are a delete followed by an insert into the delta store.
+
+Scans yield :class:`~repro.engine.batch.Batch` objects (batch mode).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.errors import StorageError
+from repro.core.schema import TableSchema
+from repro.engine.batch import Batch, _column_array
+from repro.engine.metrics import ExecutionContext
+from repro.storage.compression import CompressedRowGroup, compress_rowgroup
+
+Row = Tuple[object, ...]
+
+#: Default number of rows per compressed row group (scaled down from SQL
+#: Server's 100K-1M so scaled tables still get many groups).
+DEFAULT_ROWGROUP_SIZE = 32768
+
+RID_COLUMN = "__rid__"
+
+
+class _RowGroupState:
+    """A compressed row group plus its delete mask."""
+
+    __slots__ = ("group", "deleted_mask", "n_deleted")
+
+    def __init__(self, group: CompressedRowGroup):
+        self.group = group
+        self.deleted_mask = np.zeros(group.n_rows, dtype=bool)
+        self.n_deleted = 0
+
+    @property
+    def live_rows(self) -> int:
+        """Rows in the group not masked by the delete bitmap."""
+        return self.group.n_rows - self.n_deleted
+
+
+class ColumnstoreIndex:
+    """A primary or secondary columnstore index.
+
+    Parameters
+    ----------
+    name:
+        Index name (catalog-unique).
+    schema:
+        The owning table's schema.
+    columns:
+        Columns stored in the index. A primary CSI must store every table
+        column; a secondary CSI stores any subset of
+        columnstore-supported columns.
+    is_primary:
+        Selects the delete mechanism (bitmap-only vs delete buffer) and
+        whether the index is the table's main storage.
+    rowgroup_size:
+        Rows per compressed row group; also the delta-store compression
+        threshold for the tuple mover.
+    """
+
+    kind = "csi"
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        columns: Optional[Sequence[str]] = None,
+        is_primary: bool = False,
+        rowgroup_size: int = DEFAULT_ROWGROUP_SIZE,
+        object_id: int = 0,
+    ):
+        if rowgroup_size < 64:
+            raise StorageError("rowgroup_size must be at least 64")
+        self.name = name
+        self.schema = schema
+        self.is_primary = is_primary
+        self.rowgroup_size = rowgroup_size
+        self.object_id = object_id
+        if columns is None:
+            columns = schema.columnstore_columns()
+        self.columns = list(columns)
+        unsupported = [
+            c for c in self.columns
+            if not schema.column(c).col_type.columnstore_supported
+        ]
+        if unsupported:
+            raise StorageError(
+                f"columns {unsupported} have types unsupported by columnstore"
+            )
+        if is_primary and set(self.columns) != set(schema.column_names()):
+            raise StorageError(
+                "a primary columnstore must contain all table columns"
+            )
+        self._column_ordinals = schema.ordinals(self.columns)
+        self._groups: List[_RowGroupState] = []
+        #: rid -> (group index, position) for compressed rows.
+        self._rid_location: Dict[int, Tuple[int, int]] = {}
+        #: Delta store: rid -> row values (in self.columns order). Modelled
+        #: as a dict; B+ tree maintenance CPU is charged via the cost model.
+        self._delta: Dict[int, Row] = {}
+        #: Secondary CSI only: rids awaiting background compaction into the
+        #: delete bitmaps (the "delete buffer" B+ tree).
+        self._delete_buffer: Set[int] = set()
+
+    # ------------------------------------------------------------- build
+    @classmethod
+    def build(
+        cls,
+        name: str,
+        schema: TableSchema,
+        rows_with_rids: Sequence[Tuple[int, Row]],
+        columns: Optional[Sequence[str]] = None,
+        is_primary: bool = False,
+        rowgroup_size: int = DEFAULT_ROWGROUP_SIZE,
+        presorted: bool = False,
+        object_id: int = 0,
+    ) -> "ColumnstoreIndex":
+        """Bulk load: compress ``rows_with_rids`` directly into row groups
+        (bulk loaded data bypasses the delta store, Section 2).
+
+        ``presorted`` preserves the incoming row order inside each row
+        group instead of applying the greedy compression sort — used to
+        build the "CSI sorted" variant of Figure 2, where data pre-sorted
+        on a predicate column yields disjoint per-segment min/max ranges.
+        """
+        index = cls(
+            name, schema, columns=columns, is_primary=is_primary,
+            rowgroup_size=rowgroup_size, object_id=object_id,
+        )
+        ordinals = index._column_ordinals
+        for start in range(0, len(rows_with_rids), rowgroup_size):
+            chunk = rows_with_rids[start:start + rowgroup_size]
+            rids = np.fromiter((rid for rid, _ in chunk), dtype=np.int64,
+                               count=len(chunk))
+            column_data = {
+                col: _column_array([row[ordinal] for _, row in chunk])
+                for col, ordinal in zip(index.columns, ordinals)
+            }
+            group = compress_rowgroup(schema, column_data, rids,
+                                      presorted=presorted)
+            index._append_group(group)
+        return index
+
+    def _append_group(self, group: CompressedRowGroup) -> None:
+        group_index = len(self._groups)
+        self._groups.append(_RowGroupState(group))
+        for pos, rid in enumerate(group.rids.tolist()):
+            self._rid_location[rid] = (group_index, pos)
+
+    # ------------------------------------------------------------- sizing
+    def size_bytes(self) -> int:
+        """Approximate on-disk size in bytes."""
+        compressed = sum(s.group.size_bytes() for s in self._groups)
+        delta = len(self._delta) * self._delta_row_bytes()
+        buffer = len(self._delete_buffer) * 16
+        return compressed + delta + buffer
+
+    def column_sizes(self) -> Dict[str, int]:
+        """Per-column compressed sizes — the quantity DTA's what-if API
+        needs for hypothetical CSIs (Section 4.2)."""
+        sizes = {col: 0 for col in self.columns}
+        for state in self._groups:
+            for col, segment in state.group.segments.items():
+                sizes[col] += segment.size_bytes
+        delta_per_row = self._delta_row_bytes()
+        for col in self.columns:
+            share = self.schema.column(col).col_type.byte_width
+            total_width = max(1, sum(
+                self.schema.column(c).col_type.byte_width for c in self.columns
+            ))
+            sizes[col] += int(len(self._delta) * delta_per_row * share / total_width)
+        return sizes
+
+    def _delta_row_bytes(self) -> int:
+        return sum(
+            self.schema.column(c).col_type.byte_width for c in self.columns
+        ) + 12
+
+    @property
+    def n_rows(self) -> int:
+        """Live row count (compressed minus deleted, plus delta)."""
+        compressed = sum(s.live_rows for s in self._groups)
+        return compressed + len(self._delta)
+
+    @property
+    def n_rowgroups(self) -> int:
+        """Number of compressed row groups."""
+        return len(self._groups)
+
+    @property
+    def delta_rows(self) -> int:
+        """Rows currently in the delta store."""
+        return len(self._delta)
+
+    @property
+    def delete_buffer_rows(self) -> int:
+        """Rows currently in the delete buffer."""
+        return len(self._delete_buffer)
+
+    # ------------------------------------------------------------ mutation
+    def _project(self, row: Row) -> Row:
+        return tuple(row[i] for i in self._column_ordinals)
+
+    def insert(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Insert into the delta store (a B+ tree in SQL Server)."""
+        if rid in self._delta or rid in self._rid_location:
+            raise StorageError(f"duplicate rid {rid} in columnstore {self.name!r}")
+        self._delta[rid] = self._project(row)
+        if ctx is not None:
+            cm = ctx.cost_model
+            ctx.charge_serial_cpu(cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms)
+            ctx.charge_serial_cpu(cm.log_write_ms_per_row)
+        if len(self._delta) >= self.rowgroup_size:
+            self.move_tuples(ctx)
+
+    def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Delete one row. See :meth:`delete_many` for the batch path that
+        models per-statement row-group scans of primary CSIs."""
+        self.delete_many([rid], ctx)
+
+    def delete_many(
+        self, rids: Iterable[int], ctx: Optional[ExecutionContext] = None
+    ) -> None:
+        """Delete a set of rows in one statement.
+
+        Primary CSI: every *affected* row group must be scanned once to
+        find physical locators for the delete bitmap (the expensive path
+        of Figure 5). Secondary CSI: each rid is a cheap B+ tree insert
+        into the delete buffer.
+        """
+        rid_list = list(rids)
+        cm = ctx.cost_model if ctx is not None else None
+        affected_groups: Set[int] = set()
+        for rid in rid_list:
+            if rid in self._delta:
+                del self._delta[rid]
+                if cm is not None:
+                    ctx.charge_serial_cpu(
+                        cm.btree_update_cpu_ms_per_row + cm.log_write_ms_per_row
+                    )
+                continue
+            location = self._rid_location.get(rid)
+            if location is None:
+                raise StorageError(f"rid {rid} not in columnstore {self.name!r}")
+            group_index, pos = location
+            state = self._groups[group_index]
+            if state.deleted_mask[pos]:
+                raise StorageError(f"rid {rid} already deleted")
+            if self.is_primary:
+                affected_groups.add(group_index)
+                state.deleted_mask[pos] = True
+                state.n_deleted += 1
+                del self._rid_location[rid]
+            else:
+                self._delete_buffer.add(rid)
+            if cm is not None:
+                ctx.charge_serial_cpu(
+                    cm.btree_update_cpu_ms_per_row + cm.log_write_ms_per_row
+                )
+        if self.is_primary and cm is not None:
+            # One locator scan per affected row group per statement.
+            for group_index in affected_groups:
+                group_rows = self._groups[group_index].group.n_rows
+                ctx.charge_serial_cpu(group_rows * cm.csi_locate_cpu_ms_per_row)
+
+    def update(
+        self,
+        rid: int,
+        old_row: Row,
+        new_row: Row,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> None:
+        """Point update = delete + insert (Section 2)."""
+        self.delete(rid, old_row, ctx)
+        # Re-insert under the same rid. A deleted compressed rid must be
+        # purged from the delete buffer view first for secondary CSIs.
+        if not self.is_primary and rid in self._delete_buffer:
+            # The re-inserted row lives in the delta store; the buffered
+            # delete continues to mask the compressed copy. Track the new
+            # version under a shadow slot in the delta store.
+            self._delta[rid] = self._project(new_row)
+            if ctx is not None:
+                cm = ctx.cost_model
+                ctx.charge_serial_cpu(
+                    cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms
+                    + cm.log_write_ms_per_row
+                )
+            if len(self._delta) >= self.rowgroup_size:
+                self.move_tuples(ctx)
+            return
+        self.insert(rid, new_row, ctx)
+
+    def update_many(
+        self,
+        updates: Sequence[Tuple[int, Row, Row]],
+        ctx: Optional[ExecutionContext] = None,
+    ) -> None:
+        """Batch update: one delete_many + the inserts, so primary CSIs pay
+        the locator scan once per affected group per statement."""
+        self.delete_many([rid for rid, _, _ in updates], ctx)
+        for rid, _, new_row in updates:
+            if not self.is_primary and rid in self._delete_buffer:
+                self._delta[rid] = self._project(new_row)
+                if ctx is not None:
+                    cm = ctx.cost_model
+                    ctx.charge_serial_cpu(
+                        cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms
+                        + cm.log_write_ms_per_row
+                    )
+            else:
+                self.insert(rid, new_row, ctx)
+        if len(self._delta) >= self.rowgroup_size:
+            self.move_tuples(ctx)
+
+    # ----------------------------------------------------- background ops
+    def move_tuples(self, ctx: Optional[ExecutionContext] = None) -> None:
+        """Tuple mover: compress the delta store into a new row group."""
+        if not self._delta:
+            return
+        items = sorted(self._delta.items())
+        rids = np.fromiter((rid for rid, _ in items), dtype=np.int64,
+                           count=len(items))
+        column_data = {
+            col: _column_array([values[i] for _, values in items])
+            for i, col in enumerate(self.columns)
+        }
+        group = compress_rowgroup(self.schema, column_data, rids)
+        self._append_group(group)
+        self._delta.clear()
+        if ctx is not None:
+            cm = ctx.cost_model
+            ctx.charge_serial_cpu(len(items) * cm.csi_compress_cpu_ms_per_row)
+            ctx.charge_write(group.size_bytes())
+
+    def rebuild(self, ctx: Optional[ExecutionContext] = None) -> None:
+        """ALTER INDEX ... REBUILD: re-compress everything.
+
+        Drains the delta store, drops deleted rows for good, folds the
+        delete buffer away, and re-partitions the surviving rows into
+        fresh full row groups. After heavy update activity this restores
+        scan performance: no delete-bitmap masking, no anti-semi join,
+        and full-size row groups with tight min/max metadata.
+        """
+        live: List[Tuple[int, Row]] = []
+        for state in self._groups:
+            group = state.group
+            decoded = {name: group.column(name).decode()
+                       for name in self.columns}
+            for pos, rid in enumerate(group.rids.tolist()):
+                if state.deleted_mask[pos]:
+                    continue
+                if not self.is_primary and rid in self._delete_buffer:
+                    continue
+                live.append((rid, tuple(decoded[name][pos]
+                                        for name in self.columns)))
+        live.extend(sorted(self._delta.items()))
+        live.sort()
+        self._groups = []
+        self._rid_location = {}
+        self._delta = {}
+        self._delete_buffer = set()
+        for start in range(0, len(live), self.rowgroup_size):
+            chunk = live[start:start + self.rowgroup_size]
+            rids = np.fromiter((rid for rid, _ in chunk), dtype=np.int64,
+                               count=len(chunk))
+            column_data = {
+                name: _column_array([values[i] for _, values in chunk])
+                for i, name in enumerate(self.columns)
+            }
+            group = compress_rowgroup(self.schema, column_data, rids)
+            self._append_group(group)
+        if ctx is not None:
+            cm = ctx.cost_model
+            ctx.charge_serial_cpu(
+                len(live) * cm.csi_compress_cpu_ms_per_row)
+            ctx.charge_write(sum(s.group.size_bytes()
+                                 for s in self._groups))
+
+    def reorganize(self, ctx: Optional[ExecutionContext] = None) -> None:
+        """ALTER INDEX ... REORGANIZE: the lightweight maintenance pass —
+        run the tuple mover and compact the delete buffer, without
+        rewriting compressed row groups."""
+        self.move_tuples(ctx)
+        self.compact_delete_buffer(ctx)
+
+    @property
+    def fragmentation(self) -> float:
+        """Fraction of compressed slots wasted on deleted/buffered rows —
+        the signal that a REBUILD is due."""
+        total = sum(s.group.n_rows for s in self._groups)
+        if total == 0:
+            return 0.0
+        dead = sum(s.n_deleted for s in self._groups)
+        dead += len(self._delete_buffer)
+        return dead / total
+
+    def compact_delete_buffer(self, ctx: Optional[ExecutionContext] = None) -> None:
+        """Background compaction: fold the delete buffer into the delete
+        bitmaps so scans no longer pay the anti-semi join (Section 2)."""
+        for rid in list(self._delete_buffer):
+            location = self._rid_location.get(rid)
+            if location is None:
+                self._delete_buffer.discard(rid)
+                continue
+            group_index, pos = location
+            state = self._groups[group_index]
+            if not state.deleted_mask[pos]:
+                state.deleted_mask[pos] = True
+                state.n_deleted += 1
+            del self._rid_location[rid]
+            self._delete_buffer.discard(rid)
+        if ctx is not None:
+            ctx.charge_serial_cpu(0.5)
+
+    # ------------------------------------------------------------- scans
+    def scan(
+        self,
+        columns: Sequence[str],
+        ctx: Optional[ExecutionContext] = None,
+        elimination_ranges: Optional[Dict[str, Tuple[object, object]]] = None,
+        include_rids: bool = False,
+    ) -> Iterator[Batch]:
+        """Scan the index in batch mode.
+
+        Parameters
+        ----------
+        columns:
+            Columns to materialize (only their segments are read — the
+            reason per-column sizes matter for costing, Section 4.2).
+        elimination_ranges:
+            Optional map column -> (low, high) used for segment
+            elimination via min/max metadata; ``None`` bounds are open.
+            Elimination is a *may-contain* filter: callers still apply
+            exact predicates to the returned batches.
+        include_rids:
+            Adds the ``__rid__`` column to each batch.
+        """
+        for name in columns:
+            if name not in self.columns:
+                raise StorageError(
+                    f"columnstore {self.name!r} does not contain {name!r}"
+                )
+        needed = list(columns)
+        for state in self._groups:
+            group = state.group
+            if elimination_ranges and self._eliminated(group, elimination_ranges):
+                if ctx is not None:
+                    ctx.metrics.segments_skipped += 1
+                continue
+            if ctx is not None:
+                ctx.metrics.segments_read += 1
+                nbytes = sum(group.column(c).size_bytes for c in needed)
+                ctx.charge_seq_read(nbytes)
+                ctx.record_data_read(nbytes)
+                ctx.charge_serial_cpu(
+                    len(needed) * ctx.cost_model.segment_decode_cpu_ms
+                )
+            data = {name: group.column(name).decode() for name in needed}
+            if include_rids:
+                data[RID_COLUMN] = group.rids
+            batch = Batch(data)
+            if ctx is not None and not self.is_primary and self._delete_buffer:
+                # Anti-semi join between the row group and the delete
+                # buffer (Section 2's scan overhead of secondary CSIs).
+                ctx.charge_serial_cpu(
+                    group.n_rows * ctx.cost_model.batch_cpu_ms_per_row
+                )
+            mask = self._live_mask(state)
+            if mask is not None:
+                batch = batch.filter(mask)
+            if len(batch) > 0:
+                yield batch
+        delta_batch = self._delta_batch(needed, include_rids)
+        if delta_batch is not None:
+            if ctx is not None:
+                # Delta rows are read through the B+ tree delta store.
+                ctx.charge_serial_cpu(
+                    len(delta_batch) * ctx.cost_model.row_cpu_ms_per_row
+                )
+                delta_bytes = len(delta_batch) * self._delta_row_bytes()
+                ctx.charge_btree_scan_read(delta_bytes)
+                ctx.record_data_read(delta_bytes)
+            yield delta_batch
+
+    def _eliminated(
+        self,
+        group: CompressedRowGroup,
+        ranges: Dict[str, Tuple[object, object]],
+    ) -> bool:
+        for column, (low, high) in ranges.items():
+            segment = group.segments.get(column)
+            if segment is not None and not segment.overlaps(low, high):
+                return True
+        return False
+
+    def _live_mask(self, state: _RowGroupState) -> Optional[np.ndarray]:
+        """Combined delete bitmap + delete buffer mask; None if all live."""
+        mask = None
+        if state.n_deleted:
+            mask = ~state.deleted_mask
+        if not self.is_primary and self._delete_buffer:
+            buffered = np.fromiter(
+                (rid in self._delete_buffer for rid in state.group.rids.tolist()),
+                dtype=bool, count=state.group.n_rows,
+            )
+            if buffered.any():
+                mask = ~buffered if mask is None else (mask & ~buffered)
+        return mask
+
+    def _delta_batch(
+        self, columns: Sequence[str], include_rids: bool
+    ) -> Optional[Batch]:
+        if not self._delta:
+            return None
+        items = sorted(self._delta.items())
+        positions = [self.columns.index(c) for c in columns]
+        data = {
+            col: _column_array([values[pos] for _, values in items])
+            for col, pos in zip(columns, positions)
+        }
+        if include_rids:
+            data[RID_COLUMN] = np.fromiter(
+                (rid for rid, _ in items), dtype=np.int64, count=len(items)
+            )
+        return Batch(data)
+
+    # ------------------------------------------------------------ helpers
+    def segment_ranges(self, column: str) -> List[Tuple[object, object]]:
+        """(min, max) per row group for ``column`` — used in tests and by
+        the sorted-CSI experiments to verify disjointness."""
+        return [
+            (s.group.column(column).min_value, s.group.column(column).max_value)
+            for s in self._groups
+        ]

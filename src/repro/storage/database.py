@@ -1,0 +1,83 @@
+"""Database container: a namespace of tables plus shared services.
+
+The :class:`Database` is the top-level handle the public API exposes:
+workload generators populate it, the SQL front end binds statements
+against it, the optimizer reads its statistics, and the advisor changes
+its physical design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.core.errors import CatalogError
+from repro.core.schema import TableSchema
+from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.storage.table import Table
+
+
+class Database:
+    """A named collection of tables sharing one cost model."""
+
+    def __init__(self, name: str = "db",
+                 cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.name = name
+        self.cost_model = cost_model
+        self._tables: Dict[str, Table] = {}
+
+    # ------------------------------------------------------------ tables
+    def create_table(self, schema: TableSchema) -> Table:
+        """Create and register a new empty table."""
+        if schema.name in self._tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table (CatalogError when absent)."""
+        if name not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        """Look up a table by name (CatalogError when absent)."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table with this name exists."""
+        return name in self._tables
+
+    def tables(self) -> List[Table]:
+        """All tables, in creation order."""
+        return list(self._tables.values())
+
+    def table_names(self) -> List[str]:
+        """Names of all tables, in creation order."""
+        return list(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------ sizing
+    def total_size_bytes(self) -> int:
+        """Combined size of every index in the database."""
+        return sum(t.total_index_bytes() for t in self._tables.values())
+
+    def index_inventory(self) -> List[str]:
+        """Human-readable list of every index, for examples and reports."""
+        lines = []
+        for table in self._tables.values():
+            for index in table.all_indexes:
+                role = "primary" if index.is_primary else "secondary"
+                lines.append(
+                    f"{table.name}.{index.name} [{index.kind}, {role}, "
+                    f"{index.size_bytes() / (1024 * 1024):.2f} MB]"
+                )
+        return lines

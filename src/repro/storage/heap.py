@@ -1,0 +1,84 @@
+"""Heap file: the unordered row store used when a table has no clustered
+index. Also serves as the RID-addressable backing store for secondary
+index lookups.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.core.errors import StorageError
+from repro.core.schema import TableSchema
+from repro.engine.metrics import ExecutionContext
+
+Row = Tuple[object, ...]
+
+
+class HeapFile:
+    """An append-mostly unordered collection of rows keyed by RID."""
+
+    kind = "heap"
+    is_primary = True
+
+    def __init__(self, name: str, schema: TableSchema, object_id: int = 0):
+        self.name = name
+        self.schema = schema
+        self.object_id = object_id
+        self._rows: Dict[int, Row] = {}
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def size_bytes(self) -> int:
+        # Heap pages hold rows with ~4% free-space/fragmentation overhead.
+        """Approximate on-disk size in bytes."""
+        return int(len(self._rows) * self.schema.row_byte_width * 1.04) + 8192
+
+    def insert(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Insert one row, charging maintenance costs to ``ctx``."""
+        if rid in self._rows:
+            raise StorageError(f"duplicate rid {rid} in heap {self.name!r}")
+        self._rows[rid] = row
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.log_write_ms_per_row)
+
+    def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
+        """Delete one row, charging maintenance costs to ``ctx``."""
+        if rid not in self._rows:
+            raise StorageError(f"rid {rid} not in heap {self.name!r}")
+        del self._rows[rid]
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.log_write_ms_per_row)
+
+    def update(
+        self,
+        rid: int,
+        old_row: Row,
+        new_row: Row,
+        ctx: Optional[ExecutionContext] = None,
+    ) -> None:
+        """Update one row in place (delete+insert when keys change)."""
+        if rid not in self._rows:
+            raise StorageError(f"rid {rid} not in heap {self.name!r}")
+        self._rows[rid] = new_row
+        if ctx is not None:
+            ctx.charge_serial_cpu(ctx.cost_model.log_write_ms_per_row)
+
+    def fetch(self, rid: int, ctx: Optional[ExecutionContext] = None) -> Row:
+        """RID lookup: one random page access on cold runs."""
+        try:
+            row = self._rows[rid]
+        except KeyError:
+            raise StorageError(f"rid {rid} not in heap {self.name!r}") from None
+        if ctx is not None:
+            ctx.charge_random_read(1)
+        return row
+
+    def scan(self, ctx: Optional[ExecutionContext] = None) -> Iterator[Tuple[int, Row]]:
+        """Full scan in RID order; charges sequential-ish heap I/O."""
+        if ctx is not None:
+            nbytes = len(self._rows) * self.schema.row_byte_width
+            ctx.charge_btree_scan_read(nbytes)
+            ctx.record_data_read(nbytes)
+        for rid in sorted(self._rows):
+            yield rid, self._rows[rid]

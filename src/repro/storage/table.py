@@ -1,0 +1,329 @@
+"""Table object: canonical row storage plus coordinated index maintenance.
+
+A :class:`Table` owns
+
+* a logical row store (``rid -> row``) that is the correctness source of
+  truth,
+* a *primary structure* — heap file, clustered B+ tree, or primary
+  columnstore — which determines base-table access paths and sizes,
+* any number of secondary indexes (B+ trees, and at most one secondary
+  columnstore per table, matching SQL Server's restriction noted in
+  Section 4.3).
+
+Every DML call updates the primary structure and all secondary indexes,
+charging maintenance costs to the supplied execution context — this is
+where "B+ trees are the cheapest to update" and the delta-store /
+delete-buffer behaviours of Figure 5 come from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.errors import CatalogError, StorageError
+from repro.core.schema import TableSchema
+from repro.engine.metrics import ExecutionContext
+from repro.storage.btree import PrimaryBTreeIndex, SecondaryBTreeIndex
+from repro.storage.columnstore import ColumnstoreIndex
+from repro.storage.heap import HeapFile
+
+Row = Tuple[object, ...]
+PrimaryStructure = Union[HeapFile, PrimaryBTreeIndex, ColumnstoreIndex]
+SecondaryIndex = Union[SecondaryBTreeIndex, ColumnstoreIndex]
+
+
+class Table:
+    """A named table with a schema, rows, and physical design."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.name = schema.name
+        self._rows: Dict[int, Row] = {}
+        self._next_rid = 0
+        self.primary: PrimaryStructure = HeapFile(f"{self.name}_heap", schema)
+        self.secondary_indexes: Dict[str, SecondaryIndex] = {}
+        #: Rows touched by DML since creation — drives statistics
+        #: staleness detection (SQL Server's auto-update-stats rule).
+        self.modification_counter = 0
+
+    # ------------------------------------------------------------ basics
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def row_count(self) -> int:
+        """Number of live rows in the table."""
+        return len(self._rows)
+
+    def rows_with_rids(self) -> List[Tuple[int, Row]]:
+        """All (rid, row) pairs sorted by RID."""
+        return sorted(self._rows.items())
+
+    def get_row(self, rid: int) -> Row:
+        """Fetch a row tuple by RID (StorageError if absent)."""
+        try:
+            return self._rows[rid]
+        except KeyError:
+            raise StorageError(f"rid {rid} not in table {self.name!r}") from None
+
+    def has_rid(self, rid: int) -> bool:
+        """Whether the RID currently exists."""
+        return rid in self._rows
+
+    def iter_rows(self) -> Iterator[Tuple[int, Row]]:
+        """Iterate (rid, row) pairs in RID order."""
+        for rid in sorted(self._rows):
+            yield rid, self._rows[rid]
+
+    # ----------------------------------------------------------- indexes
+    @property
+    def all_indexes(self) -> List[Union[PrimaryStructure, SecondaryIndex]]:
+        """The primary structure plus every secondary index."""
+        return [self.primary] + list(self.secondary_indexes.values())
+
+    def index_by_name(self, name: str) -> Union[PrimaryStructure, SecondaryIndex]:
+        """Find an index (primary or secondary) by name."""
+        if self.primary.name == name:
+            return self.primary
+        try:
+            return self.secondary_indexes[name]
+        except KeyError:
+            raise CatalogError(
+                f"table {self.name!r} has no index {name!r}"
+            ) from None
+
+    def columnstore_index(self) -> Optional[ColumnstoreIndex]:
+        """The table's columnstore index, primary or secondary, if any."""
+        if isinstance(self.primary, ColumnstoreIndex):
+            return self.primary
+        for index in self.secondary_indexes.values():
+            if isinstance(index, ColumnstoreIndex):
+                return index
+        return None
+
+    def secondary_btrees(self) -> List[SecondaryBTreeIndex]:
+        """The table's nonclustered B+ tree indexes."""
+        return [
+            idx for idx in self.secondary_indexes.values()
+            if isinstance(idx, SecondaryBTreeIndex)
+        ]
+
+    def set_primary_btree(self, key_columns: Sequence[str],
+                          name: Optional[str] = None) -> PrimaryBTreeIndex:
+        """Convert the primary structure to a clustered B+ tree."""
+        index_name = name or f"{self.name}_pk_btree"
+        index = PrimaryBTreeIndex.build(
+            index_name, self.schema, key_columns, self.rows_with_rids()
+        )
+        self.primary = index
+        return index
+
+    def set_primary_columnstore(
+        self,
+        name: Optional[str] = None,
+        rowgroup_size: Optional[int] = None,
+        presorted: bool = False,
+    ) -> ColumnstoreIndex:
+        """Convert the primary structure to a primary columnstore."""
+        if self.schema.has_unsupported_columns():
+            raise CatalogError(
+                f"table {self.name!r} has columnstore-unsupported columns; "
+                "a primary columnstore cannot be created"
+            )
+        existing = self.columnstore_index()
+        if existing is not None and not existing.is_primary:
+            raise CatalogError(
+                f"table {self.name!r} already has columnstore {existing.name!r}"
+            )
+        kwargs = {}
+        if rowgroup_size is not None:
+            kwargs["rowgroup_size"] = rowgroup_size
+        index = ColumnstoreIndex.build(
+            name or f"{self.name}_pk_csi", self.schema, self.rows_with_rids(),
+            is_primary=True, presorted=presorted, **kwargs,
+        )
+        self.primary = index
+        return index
+
+    def set_primary_heap(self) -> HeapFile:
+        """Convert the primary structure back to a heap file."""
+        heap = HeapFile(f"{self.name}_heap", self.schema)
+        for rid, row in self.iter_rows():
+            heap.insert(rid, row)
+        self.primary = heap
+        return heap
+
+    def create_secondary_btree(
+        self,
+        name: str,
+        key_columns: Sequence[str],
+        included_columns: Sequence[str] = (),
+    ) -> SecondaryBTreeIndex:
+        """Build a nonclustered B+ tree on the current rows."""
+        self._check_index_name(name)
+        index = SecondaryBTreeIndex.build(
+            name, self.schema, key_columns, self.rows_with_rids(),
+            included_columns=included_columns,
+        )
+        self.secondary_indexes[name] = index
+        return index
+
+    def create_secondary_columnstore(
+        self,
+        name: str,
+        columns: Optional[Sequence[str]] = None,
+        rowgroup_size: Optional[int] = None,
+        sorted_on: Optional[str] = None,
+        allow_multiple: bool = False,
+    ) -> ColumnstoreIndex:
+        """Create a secondary columnstore.
+
+        ``sorted_on`` builds a *sorted* columnstore (a Vertica-style
+        projection, Section 4.5's extension): rows are globally sorted on
+        that column before compression, so segments have disjoint min/max
+        ranges and range predicates on it eliminate aggressively.
+
+        ``allow_multiple`` lifts the engine's one-columnstore-per-table
+        restriction (Section 4.5: "If multiple columnstores are allowed
+        on the same table...") — several projections with different sort
+        orders may then coexist.
+        """
+        self._check_index_name(name)
+        if self.columnstore_index() is not None and not allow_multiple:
+            raise CatalogError(
+                f"table {self.name!r} already has a columnstore index "
+                "(SQL Server allows one per table)"
+            )
+        kwargs = {}
+        if rowgroup_size is not None:
+            kwargs["rowgroup_size"] = rowgroup_size
+        rows = self.rows_with_rids()
+        presorted = False
+        if sorted_on is not None:
+            ordinal = self.schema.ordinal(sorted_on)
+            rows = sorted(rows, key=lambda item: (
+                item[1][ordinal] is not None, item[1][ordinal]))
+            presorted = True
+        index = ColumnstoreIndex.build(
+            name, self.schema, rows,
+            columns=columns, is_primary=False, presorted=presorted,
+            **kwargs,
+        )
+        self.secondary_indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Drop one secondary index by name."""
+        if name not in self.secondary_indexes:
+            raise CatalogError(f"table {self.name!r} has no secondary index {name!r}")
+        del self.secondary_indexes[name]
+
+    def drop_all_secondary_indexes(self) -> None:
+        """Drop every secondary index."""
+        self.secondary_indexes.clear()
+
+    def _check_index_name(self, name: str) -> None:
+        if name in self.secondary_indexes or name == self.primary.name:
+            raise CatalogError(f"index {name!r} already exists on {self.name!r}")
+
+    def total_index_bytes(self) -> int:
+        """Combined size of every index on the table."""
+        return sum(index.size_bytes() for index in self.all_indexes)
+
+    # --------------------------------------------------------------- DML
+    def insert_row(self, row: Sequence[object],
+                   ctx: Optional[ExecutionContext] = None) -> int:
+        """Insert one validated row into the table and all indexes."""
+        validated = self.schema.validate_row(row)
+        rid = self._next_rid
+        self._next_rid += 1
+        self._rows[rid] = validated
+        self.primary.insert(rid, validated, ctx)
+        for index in self.secondary_indexes.values():
+            index.insert(rid, validated, ctx)
+        self.modification_counter += 1
+        return rid
+
+    def bulk_load(self, rows: Sequence[Sequence[object]]) -> List[int]:
+        """Fast path used by workload generators: validates and stores rows
+        without index maintenance; call before creating indexes."""
+        if self.all_indexes != [self.primary] or len(self.primary) != 0:
+            if self.secondary_indexes or len(self.primary) != 0:
+                raise StorageError("bulk_load requires an empty, index-free table")
+        rids = []
+        for row in rows:
+            validated = self.schema.validate_row(row)
+            rid = self._next_rid
+            self._next_rid += 1
+            self._rows[rid] = validated
+            self.primary.insert(rid, validated)
+            rids.append(rid)
+        return rids
+
+    def delete_rid(self, rid: int, ctx: Optional[ExecutionContext] = None) -> Row:
+        """Delete one row by RID through every index."""
+        row = self.get_row(rid)
+        self.primary.delete(rid, row, ctx)
+        for index in self.secondary_indexes.values():
+            index.delete(rid, row, ctx)
+        del self._rows[rid]
+        self.modification_counter += 1
+        return row
+
+    def delete_rids(self, rids: Sequence[int],
+                    ctx: Optional[ExecutionContext] = None) -> int:
+        """Batch delete: lets columnstores amortise their per-statement
+        row-group locator scans."""
+        rows = {rid: self.get_row(rid) for rid in rids}
+        for structure in self.all_indexes:
+            if isinstance(structure, ColumnstoreIndex):
+                structure.delete_many(list(rows), ctx)
+            else:
+                for rid, row in rows.items():
+                    structure.delete(rid, row, ctx)
+        for rid in rows:
+            del self._rows[rid]
+        self.modification_counter += len(rows)
+        return len(rows)
+
+    def update_rid(self, rid: int, new_row: Sequence[object],
+                   ctx: Optional[ExecutionContext] = None) -> None:
+        """Replace one row by RID through every index."""
+        validated = self.schema.validate_row(new_row)
+        old_row = self.get_row(rid)
+        self.primary.update(rid, old_row, validated, ctx)
+        for index in self.secondary_indexes.values():
+            index.update(rid, old_row, validated, ctx)
+        self._rows[rid] = validated
+        self.modification_counter += 1
+
+    def update_rids(
+        self,
+        updates: Sequence[Tuple[int, Sequence[object]]],
+        ctx: Optional[ExecutionContext] = None,
+    ) -> int:
+        """Batch update, amortising columnstore locator scans per statement."""
+        triples = []
+        for rid, new_row in updates:
+            validated = self.schema.validate_row(new_row)
+            triples.append((rid, self.get_row(rid), validated))
+        for structure in self.all_indexes:
+            if isinstance(structure, ColumnstoreIndex):
+                structure.update_many(triples, ctx)
+            else:
+                for rid, old_row, new_row in triples:
+                    structure.update(rid, old_row, new_row, ctx)
+        for rid, _, new_row in triples:
+            self._rows[rid] = new_row
+        self.modification_counter += len(triples)
+        return len(triples)
+
+    def fetch_columns(self, rid: int, ordinals: Sequence[int],
+                      ctx: Optional[ExecutionContext] = None) -> Row:
+        """RID lookup into the primary structure (the bookmark lookup that
+        non-covering secondary indexes pay). One random page read cold."""
+        if ctx is not None:
+            ctx.charge_random_read(1)
+            ctx.charge_serial_cpu(ctx.cost_model.seek_cpu_ms)
+        row = self.get_row(rid)
+        return tuple(row[i] for i in ordinals)

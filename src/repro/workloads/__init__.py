@@ -1,0 +1,1 @@
+"""Workload and data generators for the reproduction benchmarks."""

@@ -1,0 +1,174 @@
+"""Tests for the bench harness utilities: reporting, runner, and the
+Figure 9 evaluation machinery."""
+
+import pytest
+
+from repro.bench.reporting import (
+    SPEEDUP_BUCKET_LABELS,
+    find_crossover,
+    format_histogram,
+    format_table,
+    geometric_mean,
+    speedup_histogram,
+    summarize_speedups,
+)
+from repro.bench.runner import (
+    DesignComparison,
+    Measurement,
+    measure,
+    profile_statement,
+    scan_lock_footprint,
+    update_lock_footprint,
+)
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT
+from repro.engine.executor import Executor
+from repro.storage.database import Database
+
+
+class TestSpeedupHistogram:
+    def test_bucket_edges(self):
+        counts = speedup_histogram([0.4, 0.7, 1.0, 1.4, 1.9, 4.0, 9.0, 50.0])
+        assert counts == [1, 1, 1, 1, 1, 1, 1, 1]
+
+    def test_boundary_values_inclusive(self):
+        counts = speedup_histogram([0.5, 0.8, 1.2, 10.0])
+        assert counts == [1, 1, 1, 0, 0, 0, 1, 0]
+
+    def test_over_ten(self):
+        assert speedup_histogram([10.01, 100])[-1] == 2
+
+    def test_empty(self):
+        assert speedup_histogram([]) == [0] * 8
+
+    def test_label_alignment(self):
+        assert len(SPEEDUP_BUCKET_LABELS) == len(speedup_histogram([]))
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bbb"], [(1, 2.5), (300, "x")],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_histogram(self):
+        text = format_histogram("H", [1, 0, 2, 0, 0, 0, 0, 3])
+        assert "###" in text
+
+    def test_cell_float_rendering(self):
+        text = format_table(["x"], [(0.000123,), (12345.6,)])
+        assert "0.000123" in text
+        assert "1.23e+04" in text
+
+
+class TestCrossover:
+    def test_simple_crossover(self):
+        x = [1, 2, 3, 4]
+        a = [1, 2, 4, 8]
+        b = [5, 5, 5, 5]
+        crossover = find_crossover(x, a, b)
+        assert 2 < crossover < 4
+
+    def test_no_crossover(self):
+        assert find_crossover([1, 2], [1, 1], [5, 5]) is None
+
+    def test_crossed_from_start(self):
+        assert find_crossover([1, 2], [9, 9], [5, 5]) == 1
+
+    def test_log_interpolation_between_positive_points(self):
+        crossover = find_crossover([1, 100], [1, 200], [100, 100])
+        assert 1 < crossover < 100
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_crossover([1], [1, 2], [1, 2])
+
+
+class TestStats:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([]) != geometric_mean([])  # nan
+
+    def test_summarize(self):
+        stats = summarize_speedups([0.5, 1, 2, 20, 40])
+        assert stats["min"] == 0.5
+        assert stats["max"] == 40
+        assert stats["over_10x"] == 2
+
+
+def small_executor():
+    db = Database()
+    table = db.create_table(TableSchema("t", [
+        Column("a", INT, nullable=False), Column("b", INT)]))
+    table.bulk_load([(i, i % 5) for i in range(2000)])
+    table.set_primary_btree(["a"])
+    return Executor(db)
+
+
+class TestRunner:
+    def test_measure_averages(self):
+        executor = small_executor()
+        measurement = measure(executor, "SELECT sum(b) FROM t", repeats=2)
+        assert isinstance(measurement, Measurement)
+        assert measurement.cpu_ms > 0
+        assert measurement.runs == 2
+        assert measurement.rows == 1
+
+    def test_profile_statement_splits_cpu_io(self):
+        executor = small_executor()
+        profile = profile_statement(executor, "SELECT sum(b) FROM t",
+                                    tag="q", cold=True)
+        assert profile.cpu_ms > 0
+        assert profile.io_ms >= 0
+        assert profile.tag == "q"
+
+    def test_design_comparison_speedups(self):
+        comparison = DesignComparison(design_names=["x", "y"])
+        comparison.record("q0", "x", 10.0)
+        comparison.record("q0", "y", 2.0)
+        assert comparison.speedups(over="y", base="x") == [5.0]
+
+    def test_lock_footprints(self):
+        resource = update_lock_footprint("t", "k", 99, bucket_width=10)
+        assert resource == ("range", "t", "k", 9)
+        groups = scan_lock_footprint("t", 3)
+        assert len(groups) == 3
+        assert groups[0] == ("rowgroup", "t", 0)
+
+
+class TestFigure9Machinery:
+    def test_evaluate_tiny_workload(self):
+        from repro.bench.figure9 import evaluate_workload
+
+        def factory():
+            db = Database()
+            table = db.create_table(TableSchema("f", [
+                Column("k", INT, nullable=False),
+                Column("v", INT, nullable=False),
+                Column("g", INT, nullable=False),
+            ]))
+            import random
+            rng = random.Random(1)
+            table.bulk_load([
+                (i, rng.randrange(1000), rng.randrange(4))
+                for i in range(20_000)
+            ])
+            table.set_primary_btree(["k"])
+            return db, [
+                "SELECT sum(v) FROM f WHERE v = 7",
+                "SELECT g, sum(v) FROM f GROUP BY g",
+            ]
+
+        evaluation = evaluate_workload("tiny", factory)
+        assert set(evaluation.cpu_ms) == {"hybrid", "csi_only",
+                                          "btree_only"}
+        assert all(len(v) == 2 for v in evaluation.cpu_ms.values())
+        assert evaluation.csi_leaf_pct + evaluation.btree_leaf_pct == \
+            pytest.approx(100.0)
+        # hybrid should not lose to either baseline in total.
+        hybrid = sum(evaluation.cpu_ms["hybrid"])
+        assert hybrid <= sum(evaluation.cpu_ms["csi_only"]) * 1.05
+        assert hybrid <= sum(evaluation.cpu_ms["btree_only"]) * 1.05

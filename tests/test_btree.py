@@ -1,0 +1,254 @@
+"""Tests for the B+ tree and its index wrappers."""
+
+import random
+
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.metrics import ExecutionContext
+from repro.storage.btree import (
+    BPlusTree,
+    PrimaryBTreeIndex,
+    SecondaryBTreeIndex,
+)
+
+
+def schema_two_ints():
+    return TableSchema("t", [Column("a", INT, nullable=False),
+                             Column("b", INT)])
+
+
+class TestBPlusTree:
+    def test_insert_and_get(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        for i in range(100):
+            tree.insert((i,), (i, i * 2))
+        assert len(tree) == 100
+        assert tree.get((37,)) == (37, 74)
+        assert tree.get((1000,)) is None
+        tree.check_invariants()
+
+    def test_insert_random_order(self):
+        tree = BPlusTree(leaf_capacity=6, internal_capacity=5)
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), (k,))
+        assert [k for k, _ in tree.items()] == [(i,) for i in range(500)]
+        tree.check_invariants()
+
+    def test_duplicate_key_raises(self):
+        tree = BPlusTree()
+        tree.insert((1,), ("x",))
+        with pytest.raises(StorageError):
+            tree.insert((1,), ("y",))
+
+    def test_delete_returns_payload(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        for i in range(50):
+            tree.insert((i,), (i * 10,))
+        assert tree.delete((25,)) == (250,)
+        assert tree.get((25,)) is None
+        assert len(tree) == 49
+        tree.check_invariants()
+
+    def test_delete_missing_raises(self):
+        tree = BPlusTree()
+        with pytest.raises(StorageError):
+            tree.delete((9,))
+
+    def test_delete_everything_random_order(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        keys = list(range(300))
+        for k in keys:
+            tree.insert((k,), (k,))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.delete((k,))
+            tree.check_invariants()
+        assert len(tree) == 0
+
+    def test_interleaved_insert_delete(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        rng = random.Random(11)
+        alive = set()
+        for step in range(2000):
+            if alive and rng.random() < 0.4:
+                k = rng.choice(sorted(alive))
+                tree.delete((k,))
+                alive.discard(k)
+            else:
+                k = rng.randrange(10000)
+                if k not in alive:
+                    tree.insert((k,), (k,))
+                    alive.add(k)
+        assert sorted(k[0] for k, _ in tree.items()) == sorted(alive)
+        tree.check_invariants()
+
+    def test_scan_range_inclusive(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        for i in range(100):
+            tree.insert((i,), (i,))
+        got = [k[0] for k, _ in tree.scan_range((10,), (20,))]
+        assert got == list(range(10, 21))
+
+    def test_scan_range_exclusive(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        for i in range(50):
+            tree.insert((i,), (i,))
+        got = [k[0] for k, _ in tree.scan_range(
+            (10,), (20,), low_inclusive=False, high_inclusive=False)]
+        assert got == list(range(11, 20))
+
+    def test_scan_open_bounds(self):
+        tree = BPlusTree(leaf_capacity=4, internal_capacity=4)
+        for i in range(30):
+            tree.insert((i,), (i,))
+        assert len(list(tree.scan_range(None, None))) == 30
+        assert [k[0] for k, _ in tree.scan_range(None, (5,))] == list(range(6))
+        assert [k[0] for k, _ in tree.scan_range((25,), None)] == list(range(25, 30))
+
+    def test_bulk_load_matches_inserts(self):
+        items = [((i,), (i, str(i))) for i in range(1000)]
+        tree = BPlusTree.bulk_load(items, leaf_capacity=16)
+        assert len(tree) == 1000
+        assert tree.get((512,)) == (512, "512")
+        assert [k for k, _ in tree.items()] == [k for k, _ in items]
+        tree.check_invariants()
+
+    def test_bulk_load_rejects_unsorted(self):
+        with pytest.raises(StorageError):
+            BPlusTree.bulk_load([((2,), (2,)), ((1,), (1,))], leaf_capacity=4)
+
+    def test_bulk_load_then_insert_delete(self):
+        items = [((i,), (i,)) for i in range(0, 1000, 2)]
+        tree = BPlusTree.bulk_load(items, leaf_capacity=8)
+        for i in range(1, 1000, 2):
+            tree.insert((i,), (i,))
+        assert len(tree) == 1000
+        for i in range(0, 1000, 3):
+            tree.delete((i,))
+        tree.check_invariants()
+
+    def test_height_grows_logarithmically(self):
+        tree = BPlusTree(leaf_capacity=8, internal_capacity=8)
+        for i in range(5000):
+            tree.insert((i,), (i,))
+        assert 3 <= tree.height <= 8
+
+    def test_leaf_count(self):
+        tree = BPlusTree.bulk_load(
+            [((i,), (i,)) for i in range(100)], leaf_capacity=10)
+        assert tree.leaf_count >= 10
+
+    def test_min_capacity_enforced(self):
+        with pytest.raises(StorageError):
+            BPlusTree(leaf_capacity=2)
+
+
+class TestPrimaryBTreeIndex:
+    def test_build_and_seek(self):
+        schema = schema_two_ints()
+        rows = [(i, (i, i % 7)) for i in range(200)]
+        index = PrimaryBTreeIndex.build("pk", schema, ["a"], rows)
+        got = [(rid, row) for rid, row in index.seek_range((50,), (59,))]
+        assert [row[0] for _, row in got] == list(range(50, 60))
+
+    def test_nonunique_keys_allowed(self):
+        schema = schema_two_ints()
+        rows = [(i, (i % 5, i)) for i in range(100)]
+        index = PrimaryBTreeIndex.build("pk", schema, ["a"], rows)
+        hits = list(index.seek_range((3,), (3,)))
+        assert len(hits) == 20
+        assert all(row[0] == 3 for _, row in hits)
+
+    def test_insert_delete_update(self):
+        schema = schema_two_ints()
+        index = PrimaryBTreeIndex("pk", schema, ["a"])
+        index.insert(1, (10, 100))
+        index.insert(2, (20, 200))
+        index.update(1, (10, 100), (10, 111))
+        assert [row for _, row in index.seek_range((10,), (10,))] == [(10, 111)]
+        index.update(2, (20, 200), (5, 200))  # key change
+        assert [row for _, row in index.scan()] == [(5, 200), (10, 111)]
+        index.delete(1, (10, 111))
+        assert [row for _, row in index.scan()] == [(5, 200)]
+
+    def test_null_key_rejected(self):
+        schema = schema_two_ints()
+        index = PrimaryBTreeIndex("pk", TableSchema("t", [
+            Column("a", INT), Column("b", INT)]), ["a"])
+        with pytest.raises(StorageError):
+            index.insert(1, (None, 5))
+
+    def test_cold_seek_charges_io(self):
+        schema = schema_two_ints()
+        rows = [(i, (i, i)) for i in range(5000)]
+        index = PrimaryBTreeIndex.build("pk", schema, ["a"], rows)
+        ctx = ExecutionContext(cold=True)
+        list(index.seek_range((0,), (4999,), ctx))
+        assert ctx.metrics.pages_read > 0
+        assert ctx.metrics.elapsed_ms > 0
+
+    def test_hot_seek_records_logical_read(self):
+        schema = schema_two_ints()
+        rows = [(i, (i, i)) for i in range(1000)]
+        index = PrimaryBTreeIndex.build("pk", schema, ["a"], rows)
+        ctx = ExecutionContext(cold=False)
+        list(index.seek_range((0,), (999,), ctx))
+        assert ctx.metrics.pages_read == 0
+        assert ctx.metrics.data_read_mb > 0
+
+    def test_size_bytes_scales_with_rows(self):
+        schema = schema_two_ints()
+        small = PrimaryBTreeIndex.build(
+            "pk", schema, ["a"], [(i, (i, i)) for i in range(100)])
+        big = PrimaryBTreeIndex.build(
+            "pk", schema, ["a"], [(i, (i, i)) for i in range(10000)])
+        assert big.size_bytes() > small.size_bytes() * 10
+
+
+class TestSecondaryBTreeIndex:
+    def schema(self):
+        return TableSchema("t", [
+            Column("a", INT, nullable=False),
+            Column("b", INT),
+            Column("c", varchar(8)),
+        ])
+
+    def test_covered_columns_order(self):
+        index = SecondaryBTreeIndex("ix", self.schema(), ["b"], ["c"])
+        assert index.covered_columns == ["b", "c"]
+
+    def test_key_included_overlap_rejected(self):
+        with pytest.raises(StorageError):
+            SecondaryBTreeIndex("ix", self.schema(), ["b"], ["b"])
+
+    def test_build_and_seek_returns_covered_values(self):
+        rows = [(i, (i, i * 2, f"s{i}")) for i in range(50)]
+        index = SecondaryBTreeIndex.build(
+            "ix", self.schema(), ["b"], rows, included_columns=["c"])
+        hits = list(index.seek_range((20,), (24,)))
+        assert [(rid, vals) for rid, vals in hits] == [
+            (10, (20, "s10")), (11, (22, "s11")), (12, (24, "s12"))]
+
+    def test_update_skips_uncovered_columns(self):
+        rows = [(i, (i, i, f"s{i}")) for i in range(10)]
+        index = SecondaryBTreeIndex.build("ix", self.schema(), ["b"], rows)
+        before = list(index.scan())
+        # Change only column c, which the index neither keys nor includes.
+        index.update(3, (3, 3, "s3"), (3, 3, "zzz"))
+        assert list(index.scan()) == before
+
+    def test_update_rewrites_on_key_change(self):
+        rows = [(i, (i, i, f"s{i}")) for i in range(10)]
+        index = SecondaryBTreeIndex.build("ix", self.schema(), ["b"], rows)
+        index.update(3, (3, 3, "s3"), (3, 99, "s3"))
+        assert [rid for rid, _ in index.seek_range((99,), (99,))] == [3]
+
+    def test_entry_width_smaller_than_row(self):
+        schema = self.schema()
+        index = SecondaryBTreeIndex("ix", schema, ["b"])
+        assert index.entry_byte_width < schema.row_byte_width + 8

@@ -1,0 +1,203 @@
+"""Tests for columnstore compression: RLE, dictionary, sort selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import StorageError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.storage.compression import (
+    ColumnSegment,
+    Dictionary,
+    choose_sort_order,
+    compress_rowgroup,
+    count_runs,
+    encode_segment,
+    rle_runs,
+)
+
+
+class TestRleRuns:
+    def test_empty(self):
+        values, lengths = rle_runs(np.array([], dtype=np.int64))
+        assert len(values) == 0 and len(lengths) == 0
+
+    def test_single_run(self):
+        values, lengths = rle_runs(np.array([5, 5, 5, 5]))
+        assert values.tolist() == [5]
+        assert lengths.tolist() == [4]
+
+    def test_alternating(self):
+        values, lengths = rle_runs(np.array([1, 2, 1, 2]))
+        assert values.tolist() == [1, 2, 1, 2]
+        assert lengths.tolist() == [1, 1, 1, 1]
+
+    def test_paper_figure8_example(self):
+        # Figure 8(d): column A sorted by <B, A> has runs (0,1),(1,1),(3,4).
+        col_a = np.array([0, 1, 3, 3, 3, 3])
+        values, lengths = rle_runs(col_a)
+        assert values.tolist() == [0, 1, 3]
+        assert lengths.tolist() == [1, 1, 4]
+
+    def test_object_dtype(self):
+        arr = np.array(["a", "a", "b"], dtype=object)
+        values, lengths = rle_runs(arr)
+        assert list(values) == ["a", "b"]
+        assert lengths.tolist() == [2, 1]
+
+    def test_reconstruction(self):
+        rng = np.random.default_rng(0)
+        arr = rng.integers(0, 5, size=1000)
+        values, lengths = rle_runs(arr)
+        assert np.array_equal(np.repeat(values, lengths), arr)
+
+    def test_count_runs_matches(self):
+        rng = np.random.default_rng(1)
+        arr = np.sort(rng.integers(0, 50, size=500))
+        values, _ = rle_runs(arr)
+        assert count_runs(arr) == len(values)
+
+    def test_count_runs_empty(self):
+        assert count_runs(np.array([], dtype=np.int64)) == 0
+
+
+class TestDictionary:
+    def test_roundtrip(self):
+        raw = np.array(["cherry", "apple", "banana", "apple"], dtype=object)
+        d = Dictionary.build(raw)
+        codes = d.encode(raw)
+        assert np.array_equal(d.decode(codes), raw)
+        assert len(d) == 3
+
+    def test_size_bytes_counts_strings(self):
+        d = Dictionary.build(np.array(["aa", "bbbb"], dtype=object))
+        assert d.size_bytes() == (2 + 4) + (4 + 4)
+
+
+class TestEncodeSegment:
+    def test_constant_column_uses_rle(self):
+        seg = encode_segment("c", np.full(10000, 7, dtype=np.int64), 4)
+        assert seg.encoding == "rle"
+        assert seg.size_bytes < 100
+        assert np.array_equal(seg.decode(), np.full(10000, 7))
+
+    def test_sorted_low_cardinality_uses_rle(self):
+        arr = np.sort(np.random.default_rng(2).integers(0, 25, size=5000))
+        seg = encode_segment("c", arr, 4)
+        assert seg.encoding == "rle"
+        assert np.array_equal(seg.decode(), arr)
+
+    def test_random_high_cardinality_avoids_rle(self):
+        arr = np.random.default_rng(3).permutation(100000).astype(np.int64)
+        seg = encode_segment("c", arr, 4)
+        assert seg.encoding in ("bitpack", "raw")
+        assert np.array_equal(seg.decode(), arr)
+
+    def test_min_max_recorded(self):
+        seg = encode_segment("c", np.array([3, 9, 1, 7]), 4)
+        assert seg.min_value == 1
+        assert seg.max_value == 9
+
+    def test_overlaps(self):
+        seg = encode_segment("c", np.array([10, 20, 30]), 4)
+        assert seg.overlaps(5, 15)
+        assert seg.overlaps(None, 10)
+        assert seg.overlaps(30, None)
+        assert not seg.overlaps(31, None)
+        assert not seg.overlaps(None, 9)
+        assert seg.overlaps(None, None)
+
+    def test_string_column_requires_dictionary(self):
+        arr = np.array(["x", "y"], dtype=object)
+        with pytest.raises(StorageError):
+            encode_segment("c", arr, 8, dictionary=None)
+
+    def test_string_column_with_dictionary(self):
+        arr = np.array(["x", "y", "x", "x"], dtype=object)
+        seg = encode_segment("c", arr, 8, Dictionary.build(arr))
+        assert list(seg.decode()) == ["x", "y", "x", "x"]
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(StorageError):
+            encode_segment("c", np.array([], dtype=np.int64), 4)
+
+    def test_low_cardinality_smaller_than_high(self):
+        rng = np.random.default_rng(4)
+        low = encode_segment("c", rng.integers(0, 4, size=10000), 4)
+        high = encode_segment("c", rng.integers(0, 2**30, size=10000), 4)
+        assert low.size_bytes < high.size_bytes
+
+
+class TestChooseSortOrder:
+    def test_fewest_distinct_first(self):
+        rng = np.random.default_rng(5)
+        columns = {
+            "many": rng.integers(0, 1000, size=2000),
+            "few": rng.integers(0, 3, size=2000),
+            "mid": rng.integers(0, 40, size=2000),
+        }
+        assert choose_sort_order(columns) == ["few", "mid", "many"]
+
+    def test_tie_broken_by_name(self):
+        columns = {
+            "b": np.array([1, 2, 1, 2]),
+            "a": np.array([5, 6, 5, 6]),
+        }
+        assert choose_sort_order(columns) == ["a", "b"]
+
+
+class TestCompressRowGroup:
+    def schema(self):
+        return TableSchema("t", [
+            Column("a", INT), Column("b", INT), Column("s", varchar(8)),
+        ])
+
+    def test_sorting_improves_compression(self):
+        rng = np.random.default_rng(6)
+        n = 20000
+        columns = {
+            "a": rng.integers(0, 8, size=n),
+            "b": rng.integers(0, 100, size=n),
+            "s": np.array(rng.choice(["x", "y", "z"], size=n), dtype=object),
+        }
+        rids = np.arange(n)
+        sorted_group = compress_rowgroup(self.schema(), dict(columns), rids.copy())
+        raw_group = compress_rowgroup(
+            self.schema(), dict(columns), rids.copy(), presorted=True)
+        assert sorted_group.size_bytes() < raw_group.size_bytes()
+
+    def test_rids_permuted_with_rows(self):
+        n = 1000
+        rng = np.random.default_rng(7)
+        a = rng.integers(0, 5, size=n)
+        rids = np.arange(n)
+        group = compress_rowgroup(
+            TableSchema("t", [Column("a", INT)]), {"a": a}, rids)
+        decoded = group.column("a").decode()
+        # Each stored position's rid must map back to the original value.
+        for pos in range(0, n, 97):
+            original_rid = group.rids[pos]
+            assert decoded[pos] == a[original_rid]
+
+    def test_presorted_preserves_order(self):
+        a = np.arange(1000)
+        group = compress_rowgroup(
+            TableSchema("t", [Column("a", INT)]),
+            {"a": a}, np.arange(1000), presorted=True)
+        assert np.array_equal(group.column("a").decode(), a)
+        assert group.sort_order == []
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(StorageError):
+            compress_rowgroup(
+                TableSchema("t", [Column("a", INT), Column("b", INT)]),
+                {"a": np.arange(5), "b": np.arange(6)}, np.arange(5))
+
+    def test_size_bytes_is_sum_of_segments(self):
+        group = compress_rowgroup(
+            self.schema(),
+            {"a": np.arange(100), "b": np.arange(100),
+             "s": np.array(["q"] * 100, dtype=object)},
+            np.arange(100))
+        assert group.size_bytes() == sum(
+            s.size_bytes for s in group.segments.values())

@@ -1,0 +1,205 @@
+"""Tests for the lock manager and the discrete-event concurrency
+simulator."""
+
+import pytest
+
+from repro.core.errors import TransactionError
+from repro.engine.concurrency import (
+    ConcurrencySimulator,
+    SimulationResult,
+    StatementProfile,
+)
+from repro.engine.locks import (
+    LOCK_S,
+    LOCK_X,
+    READ_COMMITTED,
+    SERIALIZABLE,
+    SNAPSHOT,
+    LockManager,
+    compatible,
+    range_bucket,
+    read_cpu_multiplier,
+    read_lock_requests,
+    write_lock_requests,
+)
+
+
+class TestLockManager:
+    def test_shared_locks_compatible(self):
+        lm = LockManager()
+        assert lm.try_acquire_all(1, [(("t", 1), LOCK_S)])
+        assert lm.try_acquire_all(2, [(("t", 1), LOCK_S)])
+
+    def test_exclusive_blocks_shared(self):
+        lm = LockManager()
+        assert lm.try_acquire_all(1, [(("t", 1), LOCK_X)])
+        assert not lm.try_acquire_all(2, [(("t", 1), LOCK_S)])
+
+    def test_shared_blocks_exclusive(self):
+        lm = LockManager()
+        assert lm.try_acquire_all(1, [(("t", 1), LOCK_S)])
+        assert not lm.try_acquire_all(2, [(("t", 1), LOCK_X)])
+
+    def test_release_wakes_waiters(self):
+        lm = LockManager()
+        lm.try_acquire_all(1, [(("t", 1), LOCK_X)])
+        assert not lm.try_acquire_all(2, [(("t", 1), LOCK_X)])
+        woken = lm.release_all(1)
+        assert 2 in woken
+        assert lm.try_acquire_all(2, [(("t", 1), LOCK_X)])
+
+    def test_fifo_ordering(self):
+        lm = LockManager()
+        lm.try_acquire_all(1, [(("t", 1), LOCK_X)])
+        assert not lm.try_acquire_all(2, [(("t", 1), LOCK_X)])
+        assert not lm.try_acquire_all(3, [(("t", 1), LOCK_X)])
+        lm.release_all(1)
+        # Client 3 must not jump ahead of client 2.
+        assert not lm.try_acquire_all(3, [(("t", 1), LOCK_X)])
+        assert lm.try_acquire_all(2, [(("t", 1), LOCK_X)])
+
+    def test_multi_resource_all_or_nothing(self):
+        lm = LockManager()
+        lm.try_acquire_all(1, [(("t", 2), LOCK_X)])
+        granted = lm.try_acquire_all(
+            2, [(("t", 1), LOCK_X), (("t", 2), LOCK_X)])
+        assert not granted
+        # Resource ("t", 1) must not be held by the failed request.
+        assert lm.try_acquire_all(3, [(("t", 1), LOCK_X)])
+
+    def test_reacquire_same_owner(self):
+        lm = LockManager()
+        assert lm.try_acquire_all(1, [(("t", 1), LOCK_S)])
+        assert lm.try_acquire_all(1, [(("t", 1), LOCK_S)])
+
+    def test_compatibility_matrix(self):
+        assert compatible(LOCK_S, LOCK_S)
+        assert not compatible(LOCK_S, LOCK_X)
+        assert not compatible(LOCK_X, LOCK_S)
+        assert not compatible(LOCK_X, LOCK_X)
+
+    def test_isolation_lock_footprints(self):
+        resources = [("t", 1), ("t", 2)]
+        assert read_lock_requests(READ_COMMITTED, resources) == []
+        assert read_lock_requests(SNAPSHOT, resources) == []
+        sr = read_lock_requests(SERIALIZABLE, resources)
+        assert len(sr) == 2 and all(m == LOCK_S for _, m in sr)
+        writes = write_lock_requests(resources)
+        assert all(m == LOCK_X for _, m in writes)
+
+    def test_unknown_isolation_rejected(self):
+        with pytest.raises(TransactionError):
+            read_lock_requests("chaos", [("t", 1)])
+
+    def test_snapshot_read_overhead(self):
+        assert read_cpu_multiplier(SNAPSHOT) > 1.0
+        assert read_cpu_multiplier(READ_COMMITTED) == 1.0
+
+    def test_range_bucket(self):
+        assert range_bucket(100, 10) == 10
+        assert range_bucket(109, 10) == 10
+        assert range_bucket(110, 10) == 11
+        assert isinstance(range_bucket("abc"), int)
+
+
+def reader(cpu=10.0, dop=4, resource=("t", "rg", 0), tag="read"):
+    def make():
+        return StatementProfile(tag, cpu_ms=cpu, dop=dop,
+                                read_resources=(resource,))
+    return make
+
+
+def writer(cpu=1.0, resource=("t", "rg", 0), tag="write"):
+    def make():
+        return StatementProfile(tag, cpu_ms=cpu, dop=1, is_write=True,
+                                write_resources=(resource,))
+    return make
+
+
+class TestSimulator:
+    def test_single_client_latency_matches_cost(self):
+        sim = ConcurrencySimulator(n_cores=40)
+        result = sim.run([reader(cpu=20.0, dop=4)], duration_ms=1000)
+        # 20ms of CPU at dop 4 on idle 40 cores => 5ms latency.
+        assert abs(result.median_latency("read") - 5.0) < 0.1
+
+    def test_io_phase_adds_fixed_latency(self):
+        def with_io():
+            return StatementProfile("r", cpu_ms=4.0, dop=4, io_ms=10.0)
+        result = ConcurrencySimulator(n_cores=40).run([with_io],
+                                                      duration_ms=500)
+        assert abs(result.median_latency("r") - 11.0) < 0.1
+
+    def test_cpu_contention_slows_everyone(self):
+        solo = ConcurrencySimulator(n_cores=8).run(
+            [reader(cpu=8.0, dop=8)], duration_ms=1000)
+        crowded = ConcurrencySimulator(n_cores=8).run(
+            [reader(cpu=8.0, dop=8) for _ in range(8)], duration_ms=1000)
+        assert crowded.median_latency("read") > \
+            solo.median_latency("read") * 4
+
+    def test_serial_statements_unaffected_by_spare_cores(self):
+        # 4 serial statements on 8 cores: no contention.
+        result = ConcurrencySimulator(n_cores=8).run(
+            [reader(cpu=5.0, dop=1) for _ in range(4)], duration_ms=500)
+        assert abs(result.median_latency("read") - 5.0) < 0.1
+
+    def test_read_committed_readers_not_blocked(self):
+        sim = ConcurrencySimulator(n_cores=8, isolation=READ_COMMITTED)
+        result = sim.run([reader(cpu=2.0, dop=1), writer(cpu=2.0)],
+                         duration_ms=500)
+        read_waits = [r.lock_wait_ms for r in result.records
+                      if r.tag == "read"]
+        assert all(w == 0 for w in read_waits)
+
+    def test_serializable_readers_wait_for_writers(self):
+        sim = ConcurrencySimulator(n_cores=8, isolation=SERIALIZABLE)
+        result = sim.run(
+            [reader(cpu=2.0, dop=1) for _ in range(2)]
+            + [writer(cpu=2.0) for _ in range(2)],
+            duration_ms=500)
+        assert result.total_lock_wait_ms() > 0
+
+    def test_snapshot_reads_cost_more_cpu_than_rc(self):
+        rc = ConcurrencySimulator(n_cores=8, isolation=READ_COMMITTED).run(
+            [reader(cpu=8.0, dop=1)], duration_ms=500)
+        si = ConcurrencySimulator(n_cores=8, isolation=SNAPSHOT).run(
+            [reader(cpu=8.0, dop=1)], duration_ms=500)
+        assert si.median_latency("read") > rc.median_latency("read")
+
+    def test_disjoint_resources_no_conflict(self):
+        sim = ConcurrencySimulator(n_cores=8, isolation=SERIALIZABLE)
+        result = sim.run(
+            [reader(cpu=1.0, dop=1, resource=("t", 1)),
+             writer(cpu=1.0, resource=("t", 2))],
+            duration_ms=200)
+        assert result.total_lock_wait_ms() == 0
+
+    def test_resource_pools_isolate_cpu(self):
+        # H pool gets 6 cores, C pool 2 cores (paper's affinitization).
+        def h_query():
+            return StatementProfile("h", cpu_ms=12.0, dop=6, pool="H")
+
+        def c_txn():
+            return StatementProfile("c", cpu_ms=1.0, dop=1, pool="C",
+                                    is_write=True)
+        sim = ConcurrencySimulator(
+            n_cores=8, pool_cores={"H": 6, "C": 2})
+        result = sim.run([h_query, c_txn, c_txn], duration_ms=500)
+        # H runs at dop 6 on its 6 cores: 2ms.
+        assert abs(result.median_latency("h") - 2.0) < 0.2
+        assert abs(result.median_latency("c") - 1.0) < 0.2
+
+    def test_throughput_and_stats(self):
+        result = ConcurrencySimulator(n_cores=4).run(
+            [reader(cpu=1.0, dop=1)], duration_ms=1000)
+        assert result.throughput_per_sec("read") == pytest.approx(
+            1000, rel=0.05)
+        assert result.tags() == ["read"]
+        assert result.mean_latency("read") == pytest.approx(1.0, rel=0.05)
+
+    def test_max_statements_cap(self):
+        result = ConcurrencySimulator(n_cores=4).run(
+            [reader(cpu=1.0, dop=1)], duration_ms=100000,
+            max_statements=50)
+        assert len(result.records) == 50

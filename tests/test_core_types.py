@@ -1,0 +1,159 @@
+"""Tests for the column type system and schema objects."""
+
+import datetime
+
+import pytest
+
+from repro.core.errors import SchemaError
+from repro.core.schema import Column, SchemaBuilder, TableSchema, key_tuple
+from repro.core.types import (
+    BIGINT,
+    INT,
+    XML,
+    ColumnType,
+    TypeKind,
+    date_to_int,
+    decimal,
+    int_to_date,
+    varchar,
+)
+from repro.core.types import DATE
+
+
+class TestColumnType:
+    def test_int_validate_accepts_int(self):
+        assert INT.validate(42) == 42
+
+    def test_int_validate_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            INT.validate(True)
+
+    def test_int_validate_rejects_string(self):
+        with pytest.raises(SchemaError):
+            INT.validate("7")
+
+    def test_null_allowed_for_every_type(self):
+        for col_type in (INT, BIGINT, DATE, XML, decimal(2), varchar(10)):
+            assert col_type.validate(None) is None
+
+    def test_decimal_accepts_int_and_float(self):
+        assert decimal(2).validate(3) == 3.0
+        assert decimal(2).validate(3.25) == 3.25
+
+    def test_varchar_length_enforced(self):
+        with pytest.raises(SchemaError):
+            varchar(3).validate("abcd")
+        assert varchar(3).validate("abc") == "abc"
+
+    def test_varchar_requires_positive_length(self):
+        with pytest.raises(SchemaError):
+            varchar(0)
+
+    def test_date_roundtrip(self):
+        day = datetime.date(1995, 6, 17)
+        encoded = DATE.validate(day)
+        assert isinstance(encoded, int)
+        assert int_to_date(encoded) == day
+        assert date_to_int(day) == encoded
+
+    def test_date_accepts_raw_int(self):
+        assert DATE.validate(9000) == 9000
+
+    def test_byte_widths_positive(self):
+        for col_type in (INT, BIGINT, DATE, XML, decimal(2), varchar(32)):
+            assert col_type.byte_width > 0
+
+    def test_int_width_is_4_bigint_8(self):
+        assert INT.byte_width == 4
+        assert BIGINT.byte_width == 8
+
+    def test_xml_not_columnstore_supported(self):
+        assert not XML.columnstore_supported
+        assert INT.columnstore_supported
+        assert varchar(10).columnstore_supported
+
+    def test_numeric_flag(self):
+        assert INT.is_numeric
+        assert decimal(2).is_numeric
+        assert not varchar(5).is_numeric
+        assert not DATE.is_numeric
+
+    def test_str_rendering(self):
+        assert str(varchar(12)) == "varchar(12)"
+        assert str(INT) == "int"
+        assert str(decimal(2)) == "decimal(18,2)"
+
+
+class TestTableSchema:
+    def make_schema(self):
+        return TableSchema("t", [
+            Column("a", INT, nullable=False),
+            Column("b", varchar(8)),
+            Column("c", decimal(2)),
+        ])
+
+    def test_ordinals(self):
+        schema = self.make_schema()
+        assert schema.ordinal("a") == 0
+        assert schema.ordinal("c") == 2
+        assert schema.ordinals(["c", "a"]) == [2, 0]
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().ordinal("zzz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [Column("a", INT), Column("a", INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_contains_and_iter(self):
+        schema = self.make_schema()
+        assert "a" in schema
+        assert "nope" not in schema
+        assert [c.name for c in schema] == ["a", "b", "c"]
+        assert len(schema) == 3
+
+    def test_validate_row_normalises(self):
+        schema = self.make_schema()
+        row = schema.validate_row([1, "hi", 2])
+        assert row == (1, "hi", 2.0)
+
+    def test_validate_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().validate_row([1, "hi"])
+
+    def test_validate_row_null_in_not_null_column(self):
+        with pytest.raises(SchemaError):
+            self.make_schema().validate_row([None, "hi", 1.0])
+
+    def test_row_byte_width_accounts_for_all_columns(self):
+        schema = self.make_schema()
+        assert schema.row_byte_width >= 4 + 2 + 8
+
+    def test_columnstore_columns_excludes_xml(self):
+        schema = TableSchema("t", [Column("a", INT), Column("x", XML)])
+        assert schema.columnstore_columns() == ["a"]
+        assert schema.has_unsupported_columns()
+
+    def test_schema_builder(self):
+        schema = (SchemaBuilder("orders")
+                  .add("o_id", BIGINT, nullable=False)
+                  .add("o_comment", varchar(40))
+                  .build())
+        assert schema.name == "orders"
+        assert schema.column("o_id").col_type is BIGINT
+        assert schema.column("o_id").nullable is False
+
+    def test_key_tuple(self):
+        assert key_tuple((10, 20, 30), [2, 0]) == (30, 10)
+
+
+class TestColumnTypeEquality:
+    def test_frozen_and_hashable(self):
+        assert ColumnType(TypeKind.INT) == INT
+        assert hash(varchar(5)) == hash(varchar(5))
+        assert varchar(5) != varchar(6)

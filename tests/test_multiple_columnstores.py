@@ -1,0 +1,123 @@
+"""Tests for the Section 4.5 extension allowing multiple columnstores
+(projections) per table."""
+
+import random
+
+import pytest
+
+from repro.advisor.advisor import TuningAdvisor
+from repro.advisor.workload import Workload
+from repro.core.errors import CatalogError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT
+from repro.engine.executor import Executor
+from repro.optimizer.plans import KIND_CSI
+from repro.optimizer.whatif import Configuration, hypothetical_columnstore
+from repro.storage.database import Database
+
+
+def make_db(n=60_000):
+    rng = random.Random(12)
+    db = Database()
+    table = db.create_table(TableSchema("events", [
+        Column("ts", INT, nullable=False),
+        Column("geo", INT, nullable=False),
+        Column("value", INT),
+    ]))
+    table.bulk_load([
+        (rng.randrange(1_000_000), rng.randrange(1_000_000),
+         rng.randrange(10_000)) for _ in range(n)
+    ])
+    table.set_primary_btree(["value"])
+    return db
+
+
+TWO_AXIS_QUERIES = [
+    "SELECT sum(value) FROM events WHERE ts BETWEEN 100000 AND 180000",
+    "SELECT sum(value) FROM events WHERE ts BETWEEN 600000 AND 650000",
+    "SELECT sum(value) FROM events WHERE geo BETWEEN 200000 AND 260000",
+    "SELECT sum(value) FROM events WHERE geo BETWEEN 800000 AND 880000",
+]
+
+
+class TestEngineRule:
+    def test_second_csi_rejected_by_default(self):
+        db = make_db(5_000)
+        table = db.table("events")
+        table.create_secondary_columnstore("csi1", rowgroup_size=1024)
+        with pytest.raises(CatalogError):
+            table.create_secondary_columnstore("csi2", rowgroup_size=1024)
+
+    def test_allow_multiple_builds_two_projections(self):
+        db = make_db(5_000)
+        table = db.table("events")
+        table.create_secondary_columnstore(
+            "proj_ts", rowgroup_size=1024, sorted_on="ts")
+        table.create_secondary_columnstore(
+            "proj_geo", rowgroup_size=1024, sorted_on="geo",
+            allow_multiple=True)
+        csis = [i for i in table.secondary_indexes.values()]
+        assert len(csis) == 2
+
+    def test_dml_maintains_every_projection(self):
+        db = make_db(2_000)
+        table = db.table("events")
+        table.create_secondary_columnstore(
+            "proj_ts", rowgroup_size=512, sorted_on="ts")
+        table.create_secondary_columnstore(
+            "proj_geo", rowgroup_size=512, sorted_on="geo",
+            allow_multiple=True)
+        executor = Executor(db)
+        executor.execute("INSERT INTO events VALUES (5, 6, 7)")
+        for name in ("proj_ts", "proj_geo"):
+            index = table.secondary_indexes[name]
+            assert index.n_rows == 2_001
+
+    def test_configuration_flag(self):
+        csi_a = hypothetical_columnstore("t", ["a"], {"a": 1})
+        csi_b = hypothetical_columnstore("t", ["a"], {"a": 1},
+                                         sorted_on="a")
+        from repro.optimizer.whatif import hypothetical_btree
+        primary = hypothetical_btree("t", ["a"], n_rows=1)
+        primary.is_primary = True
+        strict = Configuration(indexes={"t": [primary, csi_a, csi_b]})
+        with pytest.raises(CatalogError):
+            strict.validate()
+        relaxed = Configuration(indexes={"t": [primary, csi_a, csi_b]},
+                                allow_multiple_csi=True)
+        relaxed.validate()
+
+
+class TestAdvisorWithProjections:
+    def test_advisor_picks_two_sorted_projections(self):
+        db = make_db()
+        workload = Workload.from_sql(TWO_AXIS_QUERIES, db)
+        advisor = TuningAdvisor(db)
+        single = advisor.tune(workload, consider_sorted_csi=True)
+        multi = advisor.tune(workload, consider_sorted_csi=True,
+                             allow_multiple_columnstores=True)
+        single_sorted = {d.sorted_on for d in single.chosen
+                         if d.kind == KIND_CSI and d.sorted_on}
+        multi_sorted = {d.sorted_on for d in multi.chosen
+                        if d.kind == KIND_CSI and d.sorted_on}
+        # With the rule lifted, both sort axes get a projection.
+        assert multi_sorted == {"ts", "geo"}
+        assert len(single_sorted) <= 1
+        # And the multi-projection design estimates no worse.
+        assert multi.estimated_cost <= single.estimated_cost + 1e-9
+
+    def test_apply_and_run_with_two_projections(self):
+        db = make_db()
+        workload = Workload.from_sql(TWO_AXIS_QUERIES, db)
+        advisor = TuningAdvisor(db)
+        recommendation = advisor.tune(
+            workload, consider_sorted_csi=True,
+            allow_multiple_columnstores=True)
+        advisor.apply(recommendation)
+        executor = Executor(db, catalog=advisor.catalog)
+        executor.refresh()
+        skipped = 0
+        for sql in TWO_AXIS_QUERIES:
+            result = executor.execute(sql)
+            skipped += result.metrics.segments_skipped
+        assert skipped > 0

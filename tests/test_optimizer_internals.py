@@ -1,0 +1,230 @@
+"""Unit tests for optimizer internals: cost-model estimation functions,
+plan descriptors, and the catalog."""
+
+import random
+
+import pytest
+
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.costs import DEFAULT_COST_MODEL
+from repro.optimizer import cost_model as cm
+from repro.optimizer.catalog import Catalog, describe_physical_index
+from repro.optimizer.cost_model import CostingOptions
+from repro.optimizer.plans import (
+    KIND_BTREE,
+    KIND_CSI,
+    KIND_HEAP,
+    AccessPathNode,
+    IndexDescriptor,
+    PlannedQuery,
+)
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+def options(cold=False, grant=None, concurrent=1):
+    return CostingOptions(cost_model=DEFAULT_COST_MODEL, cold=cold,
+                          memory_grant_bytes=grant,
+                          concurrent_queries=concurrent)
+
+
+def btree_descriptor(primary=True):
+    return IndexDescriptor(name="ix", table_name="t", kind=KIND_BTREE,
+                           is_primary=primary, key_columns=["a"])
+
+
+def csi_descriptor(sorted_on=None):
+    return IndexDescriptor(
+        name="csi", table_name="t", kind=KIND_CSI, is_primary=False,
+        csi_columns=["a", "b"], column_sizes={"a": 1 << 20, "b": 1 << 19},
+        sorted_on=sorted_on)
+
+
+class TestCostFunctions:
+    def test_choose_dop_serial_below_threshold(self):
+        assert cm.choose_dop(options(), 100) == 1
+        assert cm.choose_dop(options(), 10_000) == \
+            DEFAULT_COST_MODEL.max_dop
+
+    def test_choose_dop_divides_by_concurrency(self):
+        assert cm.choose_dop(options(concurrent=10), 10_000) == \
+            DEFAULT_COST_MODEL.max_dop // 10
+
+    def test_parallel_adjusted_adds_startup(self):
+        serial = cm.parallel_adjusted(options(), 40.0, 1)
+        parallel = cm.parallel_adjusted(options(), 40.0, 40)
+        assert serial == 40.0
+        assert parallel < serial
+        assert parallel > 40.0 / 40  # startup + overhead included
+
+    def test_btree_access_cold_adds_io(self):
+        hot = cm.cost_btree_access(options(False), btree_descriptor(),
+                                   rows_scanned=500, entry_bytes=20)
+        cold = cm.cost_btree_access(options(True), btree_descriptor(),
+                                    rows_scanned=500, entry_bytes=20)
+        assert cold > hot
+
+    def test_btree_lookup_rows_increase_cost(self):
+        base = cm.cost_btree_access(options(), btree_descriptor(),
+                                    rows_scanned=500, entry_bytes=20)
+        with_lookup = cm.cost_btree_access(
+            options(), btree_descriptor(), rows_scanned=500,
+            entry_bytes=20, lookup_rows=500)
+        assert with_lookup > base
+
+    def test_csi_read_fraction(self):
+        plain = csi_descriptor()
+        sorted_csi = csi_descriptor(sorted_on="a")
+        assert cm.csi_read_fraction(plain, "a", 0.01) == 1.0
+        assert cm.csi_read_fraction(sorted_csi, "a", 0.01) == \
+            pytest.approx(0.03)
+        assert cm.csi_read_fraction(sorted_csi, None, 0.01) == 1.0
+        assert cm.csi_read_fraction(sorted_csi, "b", 0.01) == 1.0
+
+    def test_csi_scan_scales_with_columns_read(self):
+        narrow = cm.cost_csi_scan(options(True), csi_descriptor(),
+                                  100_000, {"a": 1 << 20})
+        wide = cm.cost_csi_scan(options(True), csi_descriptor(),
+                                100_000, {"a": 1 << 20, "b": 1 << 20})
+        assert wide > narrow
+
+    def test_hash_join_spills_past_grant(self):
+        small_grant = options(grant=1 << 12)
+        fits = cm.cost_hash_join(options(), 1_000, 10_000, 10_000, "row")
+        spills = cm.cost_hash_join(small_grant, 1_000, 10_000, 10_000,
+                                   "row")
+        assert spills > fits
+
+    def test_inl_join_lookup_penalty(self):
+        covered = cm.cost_inl_join(options(), 100, 5.0, inner_lookup=False)
+        lookup = cm.cost_inl_join(options(), 100, 5.0, inner_lookup=True)
+        assert lookup > covered
+
+    def test_hash_aggregate_spill_flag(self):
+        _, no_spill = cm.cost_hash_aggregate(options(), 10_000, 100,
+                                             "row", 1)
+        _, spill = cm.cost_hash_aggregate(options(grant=1 << 10), 10_000,
+                                          100_000, "row", 1)
+        assert not no_spill
+        assert spill
+
+    def test_sort_spill_flag(self):
+        _, fits = cm.cost_sort(options(), 1_000, 64, 1)
+        _, spills = cm.cost_sort(options(grant=1 << 10), 100_000, 64, 1)
+        assert not fits and spills
+
+    def test_stream_cheaper_than_spilled_hash(self):
+        opts = options(grant=1 << 10)
+        stream = cm.cost_stream_aggregate(opts, 100_000, 1)
+        hashed, spilled = cm.cost_hash_aggregate(opts, 100_000, 100_000,
+                                                 "row", 1)
+        assert spilled and stream < hashed
+
+    def test_btree_entry_bytes(self):
+        primary = btree_descriptor(primary=True)
+        assert cm.btree_entry_bytes(primary, 100, {}) == 100
+        secondary = IndexDescriptor(
+            name="s", table_name="t", kind=KIND_BTREE, is_primary=False,
+            key_columns=["a"], included_columns=["b"])
+        assert cm.btree_entry_bytes(secondary, 100, {"a": 4, "b": 8}) == 20
+
+
+class TestDescriptors:
+    def test_covers(self):
+        heap = IndexDescriptor(name="h", table_name="t", kind=KIND_HEAP,
+                               is_primary=True)
+        assert heap.covers(["anything"])
+        primary = btree_descriptor(primary=True)
+        assert primary.covers(["x", "y"])
+        secondary = IndexDescriptor(
+            name="s", table_name="t", kind=KIND_BTREE, is_primary=False,
+            key_columns=["a"], included_columns=["b"])
+        assert secondary.covers(["a", "b"])
+        assert not secondary.covers(["a", "c"])
+        csi = csi_descriptor()
+        assert csi.covers(["a"])
+        assert not csi.covers(["z"])
+
+    def test_ddl_rendering(self):
+        assert "CLUSTERED INDEX" in btree_descriptor(True).ddl()
+        assert "COLUMNSTORE" in csi_descriptor().ddl()
+        heap = IndexDescriptor(name="h", table_name="t", kind=KIND_HEAP,
+                               is_primary=True)
+        assert "heap" in heap.ddl()
+
+    def test_describe_mentions_hypothetical(self):
+        hypo = csi_descriptor()
+        hypo.hypothetical = True
+        assert "hypothetical" in hypo.describe()
+
+
+class TestCatalog:
+    def make_db(self):
+        rng = random.Random(3)
+        db = Database()
+        table = db.create_table(TableSchema("t", [
+            Column("a", INT, nullable=False),
+            Column("b", varchar(8)),
+        ]))
+        table.bulk_load([(i, f"s{i % 4}") for i in range(5000)])
+        table.set_primary_btree(["a"])
+        table.create_secondary_btree("ix_b", ["b"])
+        return db
+
+    def test_indexes_for_lists_all(self):
+        db = self.make_db()
+        catalog = Catalog(db)
+        descriptors = catalog.indexes_for("t")
+        assert len(descriptors) == 2
+        kinds = {d.kind for d in descriptors}
+        assert kinds == {KIND_BTREE}
+        assert sum(d.is_primary for d in descriptors) == 1
+
+    def test_stats_cached_and_invalidated(self):
+        db = self.make_db()
+        catalog = Catalog(db)
+        first = catalog.stats("t")
+        assert catalog.stats("t") is first
+        catalog.invalidate("t")
+        assert catalog.stats("t") is not first
+
+    def test_design_cache_invalidated(self):
+        db = self.make_db()
+        catalog = Catalog(db)
+        before = catalog.indexes_for("t")
+        db.table("t").create_secondary_columnstore("csi")
+        assert len(catalog.indexes_for("t")) == len(before)  # cached
+        catalog.invalidate()
+        assert len(catalog.indexes_for("t")) == len(before) + 1
+
+    def test_describe_physical_index_unknown_type(self):
+        from repro.core.errors import CatalogError
+        db = self.make_db()
+        with pytest.raises(CatalogError):
+            describe_physical_index(db.table("t"), object())
+
+    def test_column_and_row_bytes(self):
+        db = self.make_db()
+        catalog = Catalog(db)
+        widths = catalog.column_bytes("t")
+        assert widths["a"] == 4
+        assert catalog.row_bytes("t") > 4
+
+
+class TestPlannedQueryIntrospection:
+    def test_hybrid_detection(self):
+        btree_leaf = AccessPathNode("x", btree_descriptor(), "scan", ["a"])
+        csi_leaf = AccessPathNode("y", csi_descriptor(), "scan", ["a"])
+        from repro.optimizer.plans import JoinNode
+        join = JoinNode("hash", btree_leaf, csi_leaf, ["x.a"], ["y.a"])
+        planned = PlannedQuery(root=join, est_cost=1.0, est_rows=1.0,
+                               uses_hypothetical=False)
+        assert planned.is_hybrid()
+        assert sorted(planned.index_kinds_at_leaves()) == ["btree", "csi"]
+
+    def test_non_hybrid(self):
+        leaf = AccessPathNode("x", btree_descriptor(), "scan", ["a"])
+        planned = PlannedQuery(root=leaf, est_cost=1.0, est_rows=1.0,
+                               uses_hypothetical=False)
+        assert not planned.is_hybrid()

@@ -1,0 +1,129 @@
+"""Tests for the Query Store: recording, aggregates, plan-change
+detection, and workload export into the advisor."""
+
+import random
+
+import pytest
+
+from repro.advisor.advisor import TuningAdvisor
+from repro.advisor.workload import Workload
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT
+from repro.engine.executor import Executor
+from repro.engine.query_store import QueryStore, plan_fingerprint
+from repro.storage.database import Database
+
+
+def make_executor(store=None):
+    rng = random.Random(4)
+    db = Database()
+    table = db.create_table(TableSchema("t", [
+        Column("k", INT, nullable=False),
+        Column("g", INT, nullable=False),
+        Column("v", INT),
+    ]))
+    table.bulk_load([(i, rng.randrange(8), rng.randrange(1000))
+                     for i in range(30_000)])
+    table.set_primary_btree(["k"])
+    return Executor(db, query_store=store)
+
+
+class TestRecording:
+    def test_executions_recorded(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        executor.execute("SELECT sum(v) FROM t WHERE k < 100")
+        executor.execute("SELECT sum(v) FROM t WHERE k < 100")
+        executor.execute("SELECT g, sum(v) FROM t GROUP BY g")
+        assert len(store) == 2
+        assert store.recorded_executions == 3
+        stats = store.stats("SELECT sum(v) FROM t WHERE k < 100")
+        assert stats.count == 2
+        assert stats.total_cpu_ms > 0
+        assert stats.mean_cpu_ms == pytest.approx(
+            stats.total_cpu_ms / 2)
+
+    def test_dml_recorded_too(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        executor.execute("UPDATE TOP (2) t SET v = 0 WHERE k < 50")
+        assert store.recorded_executions == 1
+
+    def test_no_store_no_failure(self):
+        executor = make_executor(None)
+        executor.execute("SELECT count(*) FROM t")
+
+    def test_capacity_bounds_history(self):
+        store = QueryStore(capacity=3)
+        executor = make_executor(store)
+        for _ in range(6):
+            executor.execute("SELECT count(*) FROM t")
+        stats = store.stats("SELECT count(*) FROM t")
+        assert stats.count == 3
+
+    def test_clear(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        executor.execute("SELECT count(*) FROM t")
+        store.clear()
+        assert len(store) == 0
+        assert store.recorded_executions == 0
+
+
+class TestAggregates:
+    def test_top_by_cpu_orders(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        executor.execute("SELECT sum(v) FROM t WHERE k = 1")  # cheap
+        executor.execute("SELECT g, sum(v) FROM t GROUP BY g")  # scan
+        top = store.top_by_cpu(1)
+        assert "GROUP BY" in top[0].sql
+
+    def test_median_elapsed(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        for _ in range(3):
+            executor.execute("SELECT count(*) FROM t")
+        stats = store.stats("SELECT count(*) FROM t")
+        assert stats.median_elapsed_ms > 0
+
+
+class TestPlanChangeDetection:
+    def test_plan_fingerprint_stable(self):
+        executor = make_executor()
+        planned = executor.plan("SELECT sum(v) FROM t WHERE k < 10")
+        assert plan_fingerprint(planned) == plan_fingerprint(planned)
+        assert "BTreeSeek" in plan_fingerprint(planned) or \
+            "AccessPathNode" in plan_fingerprint(planned)
+
+    def test_design_change_detected_as_plan_change(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        sql = "SELECT g, sum(v) FROM t GROUP BY g"
+        executor.execute(sql)
+        # Physical design change flips the plan to a columnstore scan.
+        executor.database.table("t").create_secondary_columnstore("csi")
+        executor.refresh()
+        executor.execute(sql)
+        stats = store.stats(sql)
+        assert stats.had_plan_change
+        assert stats in store.regressed_queries()
+
+    def test_fingerprint_none_plan(self):
+        assert plan_fingerprint(None) == ""
+
+
+class TestWorkloadExport:
+    def test_export_feeds_advisor(self):
+        store = QueryStore()
+        executor = make_executor(store)
+        for _ in range(5):
+            executor.execute("SELECT g, sum(v) FROM t GROUP BY g")
+        executor.execute("SELECT sum(v) FROM t WHERE k = 7")
+        pairs = store.as_workload()
+        weights = dict(pairs)
+        assert weights["SELECT g, sum(v) FROM t GROUP BY g"] == 5.0
+        workload = Workload.from_sql(pairs, executor.database)
+        advisor = TuningAdvisor(executor.database)
+        recommendation = advisor.tune(workload)
+        assert recommendation.estimated_cost <= recommendation.base_cost

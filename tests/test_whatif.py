@@ -1,0 +1,137 @@
+"""Tests for the what-if API: hypothetical indexes and configurations."""
+
+import random
+
+import pytest
+
+from repro.core.errors import CatalogError, OptimizerError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.executor import Executor
+from repro.optimizer.catalog import Catalog
+from repro.optimizer.whatif import (
+    Configuration,
+    WhatIfSession,
+    hypothetical_btree,
+    hypothetical_columnstore,
+)
+from repro.storage.database import Database
+
+
+def make_db(n=20000):
+    rng = random.Random(1)
+    db = Database()
+    t = db.create_table(TableSchema("t", [
+        Column("a", INT, nullable=False),
+        Column("b", INT),
+        Column("v", INT),
+    ]))
+    t.bulk_load([(i, rng.randrange(100), rng.randrange(1000))
+                 for i in range(n)])
+    t.set_primary_btree(["a"])
+    return db
+
+
+class TestHypotheticalDescriptors:
+    def test_btree_size_estimate(self):
+        hypo = hypothetical_btree("t", ["b"], ["v"], n_rows=10000,
+                                  column_bytes={"b": 4, "v": 4})
+        assert hypo.hypothetical
+        assert hypo.size_bytes == int(10000 * 16 * 1.02)
+
+    def test_csi_requires_column_sizes(self):
+        with pytest.raises(CatalogError):
+            hypothetical_columnstore("t", ["a", "b"], {"a": 100})
+
+    def test_csi_size_is_column_sum(self):
+        hypo = hypothetical_columnstore("t", ["a", "b"],
+                                        {"a": 100, "b": 50})
+        assert hypo.size_bytes == 150
+
+
+class TestConfiguration:
+    def test_one_csi_per_table_enforced(self):
+        c1 = hypothetical_columnstore("t", ["a"], {"a": 10})
+        c2 = hypothetical_columnstore("t", ["b"], {"b": 10})
+        heap = hypothetical_btree("t", ["a"], n_rows=10)
+        heap.is_primary = True
+        config = Configuration(indexes={"t": [heap, c1, c2]})
+        with pytest.raises(CatalogError):
+            config.validate()
+
+    def test_exactly_one_primary(self):
+        b1 = hypothetical_btree("t", ["a"], n_rows=10)
+        config = Configuration(indexes={"t": [b1]})
+        with pytest.raises(CatalogError):
+            config.validate()
+
+
+class TestWhatIfCosting:
+    def test_hypothetical_index_lowers_cost(self):
+        db = make_db()
+        session = WhatIfSession(db)
+        sql = "SELECT sum(v) FROM t WHERE b = 7"
+        baseline = session.cost_query_current_design(sql)
+        hypo = hypothetical_btree(
+            "t", ["b"], ["v"], n_rows=20000,
+            column_bytes={"b": 4, "v": 4})
+        config = session.configuration_with([hypo])
+        improved = session.cost_query(sql, config)
+        assert improved.est_cost < baseline.est_cost
+        assert improved.uses_hypothetical
+        assert any(d.name == hypo.name
+                   for d in improved.referenced_indexes())
+
+    def test_hypothetical_csi_lowers_scan_cost(self):
+        db = make_db()
+        session = WhatIfSession(db)
+        sql = "SELECT b, sum(v) FROM t GROUP BY b"
+        baseline = session.cost_query_current_design(sql)
+        catalog = session.catalog
+        from repro.advisor.size_estimation import estimate_csi_size
+        estimate = estimate_csi_size(db.table("t"), ["a", "b", "v"])
+        hypo = hypothetical_columnstore("t", ["a", "b", "v"],
+                                        estimate.column_sizes)
+        improved = session.cost_query(sql, session.configuration_with([hypo]))
+        assert improved.est_cost < baseline.est_cost
+
+    def test_hypothetical_plan_cannot_execute(self):
+        db = make_db()
+        session = WhatIfSession(db)
+        hypo = hypothetical_btree("t", ["b"], ["v"], n_rows=20000)
+        planned = session.cost_query(
+            "SELECT sum(v) FROM t WHERE b = 7",
+            session.configuration_with([hypo]))
+        assert planned.uses_hypothetical
+        from repro.optimizer.materializer import Materializer
+        with pytest.raises(OptimizerError):
+            Materializer(db).materialize(planned)
+
+    def test_estimated_cost_tracks_measured_cost(self):
+        """The advisor's premise: what-if estimates and measured execution
+        agree on *which* design is better."""
+        db = make_db()
+        session = WhatIfSession(db)
+        sql_selective = "SELECT sum(v) FROM t WHERE a < 20"
+        sql_scan = "SELECT b, sum(v) FROM t GROUP BY b"
+        ex = Executor(db, catalog=session.catalog)
+        for sql in (sql_selective, sql_scan):
+            estimated = session.cost_query_current_design(sql).est_cost
+            measured = ex.execute(sql).metrics.elapsed_ms
+            # within an order of magnitude, and both rankings agree
+            assert estimated > 0 and measured > 0
+        est_ratio = (
+            session.cost_query_current_design(sql_scan).est_cost
+            / session.cost_query_current_design(sql_selective).est_cost)
+        measured_ratio = (
+            ex.execute(sql_scan).metrics.elapsed_ms
+            / ex.execute(sql_selective).metrics.elapsed_ms)
+        assert (est_ratio > 1) == (measured_ratio > 1)
+
+    def test_configuration_with_drop_secondary(self):
+        db = make_db()
+        db.table("t").create_secondary_btree("ix_b", ["b"])
+        session = WhatIfSession(db)
+        config = session.configuration_with([], drop_secondary=True)
+        assert all(d.is_primary for ds in config.indexes.values()
+                   for d in ds)

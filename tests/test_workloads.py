@@ -1,0 +1,218 @@
+"""Tests for the workload generators: synthetic micro-bench, TPC-H,
+TPC-DS, TPC-C/CH, and the customer analogs."""
+
+import pytest
+
+from repro.core.types import int_to_date
+from repro.engine.executor import Executor
+from repro.storage.database import Database
+from repro.workloads import synthetic, tpcds, tpch
+from repro.workloads.ch import (
+    apply_ch_btree_design,
+    apply_ch_hybrid_design,
+    ch_analytic_queries,
+    ch_point_queries,
+    generate_ch,
+)
+from repro.workloads.customer import (
+    CUSTOMER_SPECS,
+    CustomerSpec,
+    generate_customer,
+)
+from repro.workloads.tpcc import (
+    DISTRICTS_PER_WAREHOUSE,
+    TpccTransactionGenerator,
+    apply_oltp_btree_design,
+    generate_tpcc,
+)
+
+
+class TestSynthetic:
+    def test_uniform_table_shape(self):
+        db = Database()
+        table = synthetic.make_uniform_table(db, "m", 1000, 3, seed=1)
+        assert table.row_count == 1000
+        assert table.schema.column_names() == ["col1", "col2", "col3"]
+
+    def test_sorted_on_orders_rows(self):
+        db = Database()
+        table = synthetic.make_uniform_table(db, "m", 500, 2, seed=1,
+                                             sorted_on="col1")
+        values = [row[0] for _, row in table.iter_rows()]
+        assert values == sorted(values)
+
+    def test_selectivity_threshold_linear(self):
+        full = synthetic.selectivity_to_threshold(100.0)
+        half = synthetic.selectivity_to_threshold(50.0)
+        assert abs(half / full - 0.5) < 1e-6
+        assert synthetic.selectivity_to_threshold(0.0) == 0
+
+    def test_q1_selectivity_approximates_target(self):
+        db = Database()
+        synthetic.make_uniform_table(db, "micro", 50_000, 1, seed=2)
+        executor = Executor(db)
+        sql = synthetic.q1_scan(10.0).replace("sum(col1)", "count(*)")
+        count = executor.execute(sql).scalar()
+        assert 0.08 < count / 50_000 < 0.12
+
+    def test_group_table_distincts(self):
+        db = Database()
+        synthetic.make_group_table(db, "g", 20_000, 37, seed=3)
+        executor = Executor(db)
+        distinct = executor.execute(
+            "SELECT col1, count(*) c FROM g GROUP BY col1")
+        assert len(distinct.rows) == 37
+
+
+class TestTpch:
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = Database()
+        tpch.generate_tpch(database, scale=0.2, seed=13)
+        return database
+
+    def test_cardinality_ratios(self, db):
+        assert db.table("nation").row_count == 25
+        assert db.table("region").row_count == 5
+        lineitem = db.table("lineitem").row_count
+        orders = db.table("orders").row_count
+        assert 2 <= lineitem / orders <= 8
+
+    def test_shipdate_range(self, db):
+        dates = [row[10] for _, row in db.table("lineitem").iter_rows()]
+        assert int_to_date(min(dates)).year >= 1992
+        assert int_to_date(max(dates)).year <= 1998
+
+    def test_analytic_queries_run(self, db):
+        executor = Executor(db)
+        for sql in tpch.analytic_queries():
+            result = executor.execute(sql)
+            assert result.metrics.cpu_ms > 0
+
+    def test_q4_and_q5_roundtrip(self, db):
+        executor = Executor(db)
+        import random
+        date = tpch.random_ship_date(random.Random(3))
+        before = executor.execute(tpch.q5_scan(date))
+        update = executor.execute(tpch.q4_update(5, date).replace(
+            "l_shipdate = ", "l_shipdate >= "))
+        assert update.rows_affected == 5
+        after = executor.execute(tpch.q5_scan(date))
+        assert after.metrics.cpu_ms > 0
+        del before
+
+
+class TestTpcds:
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = Database()
+        tpcds.generate_tpcds(database, scale=0.2, seed=29)
+        return database
+
+    def test_star_schema_fk_integrity(self, db):
+        item_count = db.table("item").row_count
+        for _, row in db.table("store_sales").iter_rows():
+            assert 0 <= row[1] < item_count
+            break  # spot check the first row; full check is slow
+
+    def test_generated_queries_parse_and_run(self, db):
+        executor = Executor(db)
+        for sql in tpcds.generate_queries(16, seed=5):
+            result = executor.execute(sql)
+            assert result.metrics.cpu_ms >= 0
+
+    def test_query_count_respected(self):
+        assert len(tpcds.generate_queries(97)) == 97
+
+
+class TestTpcc:
+    @pytest.fixture(scope="class")
+    def db(self):
+        database = Database()
+        generate_tpcc(database, n_warehouses=1, seed=17)
+        apply_oltp_btree_design(database)
+        return database
+
+    def test_cardinalities(self, db):
+        assert db.table("warehouse").row_count == 1
+        assert db.table("district").row_count == DISTRICTS_PER_WAREHOUSE
+
+    def test_transaction_mix_frequencies(self):
+        generator = TpccTransactionGenerator(2, seed=5)
+        counts = {}
+        for _ in range(2000):
+            txn = generator.next_transaction()
+            counts[txn.name] = counts.get(txn.name, 0) + 1
+        assert 0.40 < counts["NewOrder"] / 2000 < 0.50
+        assert 0.38 < counts["Payment"] / 2000 < 0.48
+        for name in ("OrderStatus", "Delivery", "StockLevel"):
+            assert 0.01 < counts[name] / 2000 < 0.08
+
+    def test_transactions_execute(self, db):
+        executor = Executor(db)
+        generator = TpccTransactionGenerator(1, seed=9)
+        for _ in range(10):
+            txn = generator.next_transaction()
+            for sql in txn.statements:
+                executor.execute(sql)
+
+    def test_payment_changes_balance(self, db):
+        executor = Executor(db)
+        generator = TpccTransactionGenerator(1, seed=2)
+        txn = generator.payment()
+        before = executor.execute(
+            "SELECT sum(c_balance) FROM customer").scalar()
+        for sql in txn.statements:
+            executor.execute(sql)
+        after = executor.execute(
+            "SELECT sum(c_balance) FROM customer").scalar()
+        assert after < before
+
+
+class TestCh:
+    def test_ch_adds_three_tables(self):
+        db = Database()
+        tables = generate_ch(db, n_warehouses=1)
+        for name in ("supplier", "nation", "region"):
+            assert name in tables
+
+    def test_designs_and_queries(self):
+        db = Database()
+        generate_ch(db, n_warehouses=1)
+        apply_ch_hybrid_design(db)
+        executor = Executor(db)
+        for name, sql in ch_analytic_queries() + ch_point_queries(1):
+            result = executor.execute(sql)
+            assert result.metrics.cpu_ms > 0, name
+
+    def test_hybrid_design_has_columnstores(self):
+        db = Database()
+        generate_ch(db, n_warehouses=1)
+        apply_ch_hybrid_design(db)
+        assert db.table("order_line").columnstore_index() is not None
+        assert db.table("orders").columnstore_index() is not None
+
+
+class TestCustomerWorkloads:
+    def test_all_specs_generate_and_run(self):
+        for name, spec in CUSTOMER_SPECS.items():
+            db = Database()
+            workload = generate_customer(db, name)
+            assert len(workload.queries) == spec.n_queries
+            assert workload.n_tables == (
+                spec.n_stub_tables + spec.n_active_tables)
+            executor = Executor(db)
+            for sql in workload.queries[:3]:
+                result = executor.execute(sql)
+                assert result.metrics.cpu_ms >= 0
+
+    def test_unknown_customer_rejected(self):
+        db = Database()
+        with pytest.raises(KeyError):
+            generate_customer(db, "cust99")
+
+    def test_cust5_has_deep_joins(self):
+        db = Database()
+        workload = generate_customer(db, "cust5")
+        join_counts = [sql.count("JOIN") for sql in workload.queries]
+        assert max(join_counts) >= 6
