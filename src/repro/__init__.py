@@ -41,6 +41,7 @@ from repro.optimizer.whatif import (
     hypothetical_columnstore,
 )
 from repro.storage.database import Database
+from repro.storage.segment_cache import DecodedSegmentCache, SegmentCacheStats
 from repro.storage.table import Table
 
 __version__ = "1.0.0"
@@ -57,6 +58,8 @@ __all__ = [
     "CostModel",
     "DEFAULT_COST_MODEL",
     "Database",
+    "DecodedSegmentCache",
+    "SegmentCacheStats",
     "ExecutionContext",
     "Executor",
     "MODE_BTREE_ONLY",

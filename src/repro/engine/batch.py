@@ -110,18 +110,20 @@ def batch_to_rows(batch: Batch, names: Optional[Sequence[str]] = None) -> List[R
 def _column_array(values: List[object]) -> np.ndarray:
     """Build a numpy array with a sensible dtype for a value list.
 
-    Integers stay int64, floats float64; anything else (strings, None)
-    becomes an object array so mixed/NULL data round-trips safely.
+    All-integer lists stay int64; mixed int/float lists promote to
+    float64 regardless of which kind appears first, so vectorized batch
+    ops keep working; anything else (strings, None) becomes an object
+    array so mixed/NULL data round-trips safely.
     """
     has_none = any(v is None for v in values)
     if not has_none:
         first = values[0]
         if isinstance(first, bool):
             pass  # fall through to object
-        elif isinstance(first, int):
-            if all(isinstance(v, int) and not isinstance(v, bool) for v in values):
+        elif isinstance(first, (int, float)):
+            if all(isinstance(v, int) and not isinstance(v, bool)
+                   for v in values):
                 return np.array(values, dtype=np.int64)
-        elif isinstance(first, float):
             if all(isinstance(v, (int, float)) and not isinstance(v, bool)
                    for v in values):
                 return np.array(values, dtype=np.float64)

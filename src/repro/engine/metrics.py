@@ -42,6 +42,11 @@ class QueryMetrics:
     #: Row groups eliminated by segment min/max metadata (Figure 2).
     segments_skipped: int = 0
     segments_read: int = 0
+    #: Decoded-segment cache traffic this statement caused (hits skip the
+    #: decode CPU and segment read charges; zero when the cache is off).
+    segment_cache_hits: int = 0
+    segment_cache_misses: int = 0
+    segment_cache_evictions: int = 0
 
     def record_leaf_access(self, index_kind: str) -> None:
         """Count one data access through the given index kind."""
@@ -63,6 +68,9 @@ class QueryMetrics:
             self.leaf_accesses[kind] = self.leaf_accesses.get(kind, 0) + count
         self.segments_skipped += other.segments_skipped
         self.segments_read += other.segments_read
+        self.segment_cache_hits += other.segment_cache_hits
+        self.segment_cache_misses += other.segment_cache_misses
+        self.segment_cache_evictions += other.segment_cache_evictions
 
 
 class ExecutionContext:

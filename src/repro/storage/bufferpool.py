@@ -88,8 +88,21 @@ class BufferPool:
             del self._resident[page]
 
     def clear(self) -> None:
-        """Forget all recorded history."""
+        """Forget all recorded history: residency *and* the hit/miss
+        counters, so ``hit_ratio`` starts fresh for the next experiment.
+        Use :meth:`evict_all` to drop residency while keeping stats, or
+        :meth:`reset_stats` for the reverse."""
         self._resident.clear()
+        self.reset_stats()
+
+    def evict_all(self) -> None:
+        """Drop every resident page but keep the hit/miss counters."""
+        self._resident.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters while keeping pages resident."""
+        self.hits = 0
+        self.misses = 0
 
     @property
     def hit_ratio(self) -> float:

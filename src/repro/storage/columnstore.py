@@ -27,6 +27,7 @@ Scans yield :class:`~repro.engine.batch.Batch` objects (batch mode).
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.core.schema import TableSchema
 from repro.engine.batch import Batch, _column_array
 from repro.engine.metrics import ExecutionContext
 from repro.storage.compression import CompressedRowGroup, compress_rowgroup
+from repro.storage.segment_cache import DecodedSegmentCache
 
 Row = Tuple[object, ...]
 
@@ -44,6 +46,10 @@ Row = Tuple[object, ...]
 DEFAULT_ROWGROUP_SIZE = 32768
 
 RID_COLUMN = "__rid__"
+
+#: Fallback object-id allocator so every index gets a distinct decoded-
+#: segment cache key space even when the caller passes no explicit id.
+_AUTO_OBJECT_IDS = itertools.count(1)
 
 
 class _RowGroupState:
@@ -100,7 +106,11 @@ class ColumnstoreIndex:
         self.schema = schema
         self.is_primary = is_primary
         self.rowgroup_size = rowgroup_size
-        self.object_id = object_id
+        self.object_id = object_id if object_id else next(_AUTO_OBJECT_IDS)
+        #: Shared decoded-segment cache, attached by the owning
+        #: :class:`~repro.storage.table.Table` when the table belongs to a
+        #: :class:`~repro.storage.database.Database`; None means uncached.
+        self.segment_cache: Optional[DecodedSegmentCache] = None
         if columns is None:
             columns = schema.columnstore_columns()
         self.columns = list(columns)
@@ -203,9 +213,18 @@ class ColumnstoreIndex:
 
     @property
     def n_rows(self) -> int:
-        """Live row count (compressed minus deleted, plus delta)."""
+        """Live row count (compressed minus deleted, plus delta).
+
+        Buffered deletes on a secondary CSI mask compressed rows just as
+        the delete bitmap does, so they are subtracted as long as the rid
+        still points into a compressed group (compaction later moves them
+        into the bitmap, which ``live_rows`` already accounts for).
+        """
         compressed = sum(s.live_rows for s in self._groups)
-        return compressed + len(self._delta)
+        buffered = sum(
+            1 for rid in self._delete_buffer if rid in self._rid_location
+        )
+        return compressed - buffered + len(self._delta)
 
     @property
     def n_rowgroups(self) -> int:
@@ -277,6 +296,8 @@ class ColumnstoreIndex:
                 state.n_deleted += 1
                 del self._rid_location[rid]
             else:
+                if rid in self._delete_buffer:
+                    raise StorageError(f"rid {rid} already deleted")
                 self._delete_buffer.add(rid)
             if cm is not None:
                 ctx.charge_serial_cpu(
@@ -338,10 +359,21 @@ class ColumnstoreIndex:
             self.move_tuples(ctx)
 
     # ----------------------------------------------------- background ops
+    def invalidate_cached_segments(self) -> None:
+        """Drop this index's entries from the shared decoded-segment
+        cache. Called by every structural change (rebuild, tuple move,
+        delete-buffer compaction) and by the drop hooks in
+        :class:`~repro.storage.table.Table`. Tuple moves and compaction
+        are invalidated conservatively: existing group indices stay
+        stable today, but the cache must not depend on that."""
+        if self.segment_cache is not None:
+            self.segment_cache.invalidate_object(self.object_id)
+
     def move_tuples(self, ctx: Optional[ExecutionContext] = None) -> None:
         """Tuple mover: compress the delta store into a new row group."""
         if not self._delta:
             return
+        self.invalidate_cached_segments()
         items = sorted(self._delta.items())
         rids = np.fromiter((rid for rid, _ in items), dtype=np.int64,
                            count=len(items))
@@ -366,6 +398,7 @@ class ColumnstoreIndex:
         scan performance: no delete-bitmap masking, no anti-semi join,
         and full-size row groups with tight min/max metadata.
         """
+        self.invalidate_cached_segments()
         live: List[Tuple[int, Row]] = []
         for state in self._groups:
             group = state.group
@@ -422,6 +455,8 @@ class ColumnstoreIndex:
     def compact_delete_buffer(self, ctx: Optional[ExecutionContext] = None) -> None:
         """Background compaction: fold the delete buffer into the delete
         bitmaps so scans no longer pay the anti-semi join (Section 2)."""
+        if self._delete_buffer:
+            self.invalidate_cached_segments()
         for rid in list(self._delete_buffer):
             location = self._rid_location.get(rid)
             if location is None:
@@ -466,7 +501,10 @@ class ColumnstoreIndex:
                     f"columnstore {self.name!r} does not contain {name!r}"
                 )
         needed = list(columns)
-        for state in self._groups:
+        cache = self.segment_cache
+        if cache is not None and not cache.enabled:
+            cache = None
+        for group_index, state in enumerate(self._groups):
             group = state.group
             if elimination_ranges and self._eliminated(group, elimination_ranges):
                 if ctx is not None:
@@ -474,13 +512,40 @@ class ColumnstoreIndex:
                 continue
             if ctx is not None:
                 ctx.metrics.segments_read += 1
-                nbytes = sum(group.column(c).size_bytes for c in needed)
-                ctx.charge_seq_read(nbytes)
-                ctx.record_data_read(nbytes)
-                ctx.charge_serial_cpu(
-                    len(needed) * ctx.cost_model.segment_decode_cpu_ms
-                )
-            data = {name: group.column(name).decode() for name in needed}
+            data = {}
+            miss_bytes = 0
+            misses = 0
+            hits = 0
+            for name in needed:
+                decoded = None
+                if cache is not None:
+                    decoded = cache.get((self.object_id, group_index, name))
+                if decoded is None:
+                    segment = group.column(name)
+                    decoded = segment.decode()
+                    miss_bytes += segment.size_bytes
+                    misses += 1
+                    if cache is not None:
+                        evicted = cache.put(
+                            (self.object_id, group_index, name), decoded)
+                        if ctx is not None:
+                            ctx.metrics.segment_cache_misses += 1
+                            ctx.metrics.segment_cache_evictions += evicted
+                else:
+                    hits += 1
+                data[name] = decoded
+            if ctx is not None:
+                if misses:
+                    ctx.charge_seq_read(miss_bytes)
+                    ctx.record_data_read(miss_bytes)
+                    ctx.charge_serial_cpu(
+                        misses * ctx.cost_model.segment_decode_cpu_ms)
+                if hits:
+                    # Hits are memory resident — no segment read, no
+                    # decode; only a cheap lookup per segment.
+                    ctx.metrics.segment_cache_hits += hits
+                    ctx.charge_serial_cpu(
+                        hits * ctx.cost_model.segment_cache_lookup_cpu_ms)
             if include_rids:
                 data[RID_COLUMN] = group.rids
             batch = Batch(data)

@@ -13,16 +13,38 @@ from typing import Dict, Iterator, List, Optional
 from repro.core.errors import CatalogError
 from repro.core.schema import TableSchema
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
+from repro.storage.columnstore import ColumnstoreIndex
+from repro.storage.segment_cache import (
+    DEFAULT_SEGMENT_CACHE_BUDGET,
+    DecodedSegmentCache,
+)
 from repro.storage.table import Table
 
 
 class Database:
-    """A named collection of tables sharing one cost model."""
+    """A named collection of tables sharing one cost model.
+
+    Parameters
+    ----------
+    segment_cache_budget_bytes:
+        Memory budget of the shared decoded-segment cache.
+    segment_cache_enabled:
+        Opt-in switch for the cache. Off by default so cold-run
+        experiments and the paper's figures are byte-for-byte unchanged;
+        enable it (here or via ``db.segment_cache.enabled = True``) to
+        make repeated columnstore scans skip re-decoding segments.
+    """
 
     def __init__(self, name: str = "db",
-                 cost_model: CostModel = DEFAULT_COST_MODEL):
+                 cost_model: CostModel = DEFAULT_COST_MODEL,
+                 segment_cache_budget_bytes: int = DEFAULT_SEGMENT_CACHE_BUDGET,
+                 segment_cache_enabled: bool = False):
         self.name = name
         self.cost_model = cost_model
+        self.segment_cache = DecodedSegmentCache(
+            budget_bytes=segment_cache_budget_bytes,
+            enabled=segment_cache_enabled,
+        )
         self._tables: Dict[str, Table] = {}
 
     # ------------------------------------------------------------ tables
@@ -30,7 +52,7 @@ class Database:
         """Create and register a new empty table."""
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        table = Table(schema, segment_cache=self.segment_cache)
         self._tables[schema.name] = table
         return table
 
@@ -38,6 +60,9 @@ class Database:
         """Remove a table (CatalogError when absent)."""
         if name not in self._tables:
             raise CatalogError(f"no table named {name!r}")
+        for index in self._tables[name].all_indexes:
+            if isinstance(index, ColumnstoreIndex):
+                index.invalidate_cached_segments()
         del self._tables[name]
 
     def table(self, name: str) -> Table:

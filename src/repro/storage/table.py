@@ -35,13 +35,17 @@ SecondaryIndex = Union[SecondaryBTreeIndex, ColumnstoreIndex]
 class Table:
     """A named table with a schema, rows, and physical design."""
 
-    def __init__(self, schema: TableSchema):
+    def __init__(self, schema: TableSchema, segment_cache=None):
         self.schema = schema
         self.name = schema.name
         self._rows: Dict[int, Row] = {}
         self._next_rid = 0
         self.primary: PrimaryStructure = HeapFile(f"{self.name}_heap", schema)
         self.secondary_indexes: Dict[str, SecondaryIndex] = {}
+        #: Shared decoded-segment cache handed down by the owning
+        #: Database; attached to every columnstore built on this table.
+        #: None (standalone tables) leaves columnstores uncached.
+        self.segment_cache = segment_cache
         #: Rows touched by DML since creation — drives statistics
         #: staleness detection (SQL Server's auto-update-stats rule).
         self.modification_counter = 0
@@ -108,6 +112,12 @@ class Table:
             if isinstance(idx, SecondaryBTreeIndex)
         ]
 
+    def _evict_cached_segments(self, structure) -> None:
+        """Drop a columnstore's decoded segments from the shared cache
+        when the index is dropped or replaced."""
+        if isinstance(structure, ColumnstoreIndex):
+            structure.invalidate_cached_segments()
+
     def set_primary_btree(self, key_columns: Sequence[str],
                           name: Optional[str] = None) -> PrimaryBTreeIndex:
         """Convert the primary structure to a clustered B+ tree."""
@@ -115,6 +125,7 @@ class Table:
         index = PrimaryBTreeIndex.build(
             index_name, self.schema, key_columns, self.rows_with_rids()
         )
+        self._evict_cached_segments(self.primary)
         self.primary = index
         return index
 
@@ -142,6 +153,8 @@ class Table:
             name or f"{self.name}_pk_csi", self.schema, self.rows_with_rids(),
             is_primary=True, presorted=presorted, **kwargs,
         )
+        index.segment_cache = self.segment_cache
+        self._evict_cached_segments(self.primary)
         self.primary = index
         return index
 
@@ -150,6 +163,7 @@ class Table:
         heap = HeapFile(f"{self.name}_heap", self.schema)
         for rid, row in self.iter_rows():
             heap.insert(rid, row)
+        self._evict_cached_segments(self.primary)
         self.primary = heap
         return heap
 
@@ -209,6 +223,7 @@ class Table:
             columns=columns, is_primary=False, presorted=presorted,
             **kwargs,
         )
+        index.segment_cache = self.segment_cache
         self.secondary_indexes[name] = index
         return index
 
@@ -216,10 +231,13 @@ class Table:
         """Drop one secondary index by name."""
         if name not in self.secondary_indexes:
             raise CatalogError(f"table {self.name!r} has no secondary index {name!r}")
+        self._evict_cached_segments(self.secondary_indexes[name])
         del self.secondary_indexes[name]
 
     def drop_all_secondary_indexes(self) -> None:
         """Drop every secondary index."""
+        for index in self.secondary_indexes.values():
+            self._evict_cached_segments(index)
         self.secondary_indexes.clear()
 
     def _check_index_name(self, name: str) -> None:

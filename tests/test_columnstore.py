@@ -188,6 +188,31 @@ class TestDeletes:
         with pytest.raises(StorageError):
             index.delete(1, (1, 1))
 
+    def test_secondary_double_delete_rejected(self):
+        # Regression: the buffered delete only reached the bitmap at
+        # compaction, so a second delete of the same compressed rid used
+        # to slip past the deleted_mask check and silently succeed.
+        index = build_csi(n=100, rowgroup_size=64, is_primary=False)
+        index.delete(1, (1, 1))
+        with pytest.raises(StorageError, match="already deleted"):
+            index.delete(1, (1, 1))
+
+    def test_secondary_n_rows_subtracts_buffered_deletes(self):
+        # Regression: n_rows ignored the delete buffer until compaction,
+        # overcounting live rows on a secondary CSI.
+        index = build_csi(n=1000, rowgroup_size=500, is_primary=False)
+        index.delete_many(range(10))
+        assert index.n_rows == 990
+        index.compact_delete_buffer()
+        assert index.n_rows == 990
+
+    def test_secondary_n_rows_after_update_of_compressed_rid(self):
+        # An updated compressed rid is masked by the delete buffer while
+        # its new version lives in the delta store: still one live row.
+        index = build_csi(n=1000, rowgroup_size=500, is_primary=False)
+        index.update(3, (3, 3), (3, 99))
+        assert index.n_rows == 1000
+
     def test_unknown_rid_rejected(self):
         index = build_csi(n=100, rowgroup_size=64)
         with pytest.raises(StorageError):

@@ -159,6 +159,25 @@ class TestBatch:
         numeric = Batch({"a": np.arange(100, dtype=np.int64)})
         assert numeric.payload_bytes() == 800
 
+    def test_mixed_int_float_promotes_to_float64(self):
+        # Regression: an int in the first position used to degrade the
+        # whole column to dtype=object, disabling vectorized batch ops.
+        batch = rows_to_batch([(1,), (2.5,), (3,)], ["a"])
+        assert batch.column("a").dtype == np.float64
+        assert batch.column("a").tolist() == [1.0, 2.5, 3.0]
+
+    def test_float_first_mixed_list_still_float64(self):
+        batch = rows_to_batch([(2.5,), (1,)], ["a"])
+        assert batch.column("a").dtype == np.float64
+
+    def test_all_int_stays_int64(self):
+        batch = rows_to_batch([(1,), (2,)], ["a"])
+        assert batch.column("a").dtype == np.int64
+
+    def test_bools_stay_object(self):
+        batch = rows_to_batch([(True,), (1,)], ["a"])
+        assert batch.column("a").dtype == object
+
 
 class TestBufferPool:
     def test_lru_eviction(self):
@@ -185,6 +204,32 @@ class TestBufferPool:
     def test_zero_capacity_rejected(self):
         with pytest.raises(StorageError):
             BufferPool(0)
+
+    def test_clear_resets_hit_ratio(self):
+        # Regression: clear() left hits/misses intact, so hit_ratio bled
+        # across back-to-back experiments sharing one pool.
+        pool = BufferPool(capacity_pages=10)
+        pool.touch_range(1, 0, 4)
+        pool.touch_range(1, 0, 4)
+        assert pool.hit_ratio == pytest.approx(0.5)
+        pool.clear()
+        assert pool.hit_ratio == 0.0
+        assert len(pool) == 0
+        assert pool.touch_range(1, 0, 2) == 2  # all cold again
+
+    def test_evict_all_keeps_stats(self):
+        pool = BufferPool(capacity_pages=10)
+        pool.touch_range(1, 0, 4)
+        pool.evict_all()
+        assert len(pool) == 0
+        assert pool.misses == 4
+
+    def test_reset_stats_keeps_residency(self):
+        pool = BufferPool(capacity_pages=10)
+        pool.touch_range(1, 0, 4)
+        pool.reset_stats()
+        assert pool.hits == 0 and pool.misses == 0
+        assert pool.touch_range(1, 0, 4) == 0  # still resident
 
     def test_allocator_unique(self):
         allocator = PageAllocator()
