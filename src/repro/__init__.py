@@ -40,7 +40,13 @@ from repro.optimizer.whatif import (
     hypothetical_btree,
     hypothetical_columnstore,
 )
+from repro.storage.checker import CheckResult, check_database, check_table
 from repro.storage.database import Database
+from repro.storage.faults import (
+    INJECTION_POINTS,
+    FaultInjector,
+    InjectedFault,
+)
 from repro.storage.segment_cache import DecodedSegmentCache, SegmentCacheStats
 from repro.storage.table import Table
 
@@ -52,6 +58,7 @@ __all__ = [
     "INT",
     "XML",
     "Catalog",
+    "CheckResult",
     "Column",
     "Configuration",
     "ConcurrencySimulator",
@@ -62,6 +69,9 @@ __all__ = [
     "SegmentCacheStats",
     "ExecutionContext",
     "Executor",
+    "FaultInjector",
+    "INJECTION_POINTS",
+    "InjectedFault",
     "MODE_BTREE_ONLY",
     "MODE_CSI_ONLY",
     "MODE_HYBRID",
@@ -80,6 +90,8 @@ __all__ = [
     "WhatIfSession",
     "Workload",
     "WorkloadStatement",
+    "check_database",
+    "check_table",
     "decimal",
     "hypothetical_btree",
     "hypothetical_columnstore",

@@ -13,6 +13,11 @@ Commands
     Tune a workload and print the recommendation.
 ``inventory``
     Build the TPC-H database and print its physical design inventory.
+``check [--faults]``
+    Build a small hybrid-design workload, run DML through it, and run
+    the CHECKDB-style consistency checker over every index; with
+    ``--faults`` every statement also survives an injected storage
+    fault first (exit code 1 on any inconsistency).
 """
 
 from __future__ import annotations
@@ -223,6 +228,57 @@ def _cmd_inventory(_args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    import random
+
+    from repro.core.errors import StorageError
+    from repro.engine.executor import Executor
+    from repro.storage.checker import check_database
+    from repro.storage.database import Database
+    from repro.storage.faults import INJECTION_POINTS, InjectedFault
+    from repro.workloads.tpch import generate_tpch
+
+    database = Database("checkdb")
+    generate_tpch(database, scale=args.scale)
+    lineitem = database.table("lineitem")
+    lineitem.set_primary_columnstore(rowgroup_size=4096)
+    lineitem.create_secondary_btree("ix_ship", ["l_shipdate"])
+    orders = database.table("orders")
+    orders.set_primary_btree(["o_orderkey"])
+    orders.create_secondary_columnstore("csi_orders", rowgroup_size=4096)
+
+    executor = Executor(database)
+    statements = [
+        "UPDATE TOP (500) lineitem SET l_quantity += 1 "
+        "WHERE l_shipdate >= '1992-01-01'",
+        "DELETE TOP (200) FROM lineitem WHERE l_quantity > 40",
+        "UPDATE TOP (300) orders SET o_totalprice += 10 "
+        "WHERE o_orderkey >= 1",
+    ]
+    injector = database.fault_injector
+    rng = random.Random(11)
+    faults_survived = 0
+    for sql in statements:
+        if args.faults:
+            # Arm a random point before each statement; a fault must
+            # roll the statement back, after which it reruns clean.
+            injector.arm(rng.choice(INJECTION_POINTS), on_hit=1)
+            try:
+                executor.execute(sql)
+            except (InjectedFault, StorageError):
+                faults_survived += 1
+            injector.disarm()
+        executor.execute(sql)
+    lineitem.primary.reorganize()
+    orders.secondary_indexes["csi_orders"].rebuild()
+
+    result = check_database(database)
+    if args.faults:
+        print(f"injected faults survived: {faults_survived}")
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -254,12 +310,20 @@ def main(argv=None) -> int:
 
     sub.add_parser("inventory", help="print a sample physical design")
 
+    check = sub.add_parser(
+        "check", help="run the consistency checker over a workload build")
+    check.add_argument("--scale", type=float, default=0.1,
+                       help="TPC-H scale factor for the workload build")
+    check.add_argument("--faults", action="store_true",
+                       help="inject a storage fault before each statement")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
         "micro": _cmd_micro,
         "tune": _cmd_tune,
         "inventory": _cmd_inventory,
+        "check": _cmd_check,
     }
     return handlers[args.command](args)
 

@@ -47,6 +47,12 @@ class QueryMetrics:
     segment_cache_hits: int = 0
     segment_cache_misses: int = 0
     segment_cache_evictions: int = 0
+    #: Robustness counters: storage faults injected by an armed
+    #: :class:`~repro.storage.faults.FaultInjector` during this statement,
+    #: and multi-index DML operations that were rolled back via
+    #: compensating index operations (both zero in normal operation).
+    faults_injected: int = 0
+    rollbacks: int = 0
 
     def record_leaf_access(self, index_kind: str) -> None:
         """Count one data access through the given index kind."""
@@ -71,6 +77,8 @@ class QueryMetrics:
         self.segment_cache_hits += other.segment_cache_hits
         self.segment_cache_misses += other.segment_cache_misses
         self.segment_cache_evictions += other.segment_cache_evictions
+        self.faults_injected += other.faults_injected
+        self.rollbacks += other.rollbacks
 
 
 class ExecutionContext:

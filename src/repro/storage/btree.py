@@ -33,6 +33,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 from repro.core.errors import StorageError
 from repro.core.schema import TableSchema
 from repro.engine.metrics import ExecutionContext
+from repro.storage.faults import FaultInjector, trip
 
 Key = Tuple[object, ...]
 Row = Tuple[object, ...]
@@ -428,6 +429,8 @@ class _BTreeIndexBase:
         self.key_ordinals = schema.ordinals(key_columns)
         self.entry_byte_width = entry_byte_width
         self.object_id = object_id
+        #: Fault injector attached by the owning Table (None standalone).
+        self.faults: Optional[FaultInjector] = None
         leaf_capacity = max(8, min(512, 8192 // max(1, entry_byte_width)))
         self.tree = BPlusTree(leaf_capacity=leaf_capacity)
 
@@ -502,6 +505,7 @@ class PrimaryBTreeIndex(_BTreeIndexBase):
 
     def insert(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
         """Insert one row, charging maintenance costs to ``ctx``."""
+        trip(self.faults, "btree.insert")
         self._charge_traversal(ctx)
         self.tree.insert(self._make_key(row, rid), row)
         if ctx is not None:
@@ -509,6 +513,7 @@ class PrimaryBTreeIndex(_BTreeIndexBase):
 
     def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
         """Delete one row, charging maintenance costs to ``ctx``."""
+        trip(self.faults, "btree.delete")
         self._charge_traversal(ctx)
         self.tree.delete(self._make_key(row, rid))
         if ctx is not None:
@@ -524,6 +529,7 @@ class PrimaryBTreeIndex(_BTreeIndexBase):
         """Update one row in place (delete+insert when keys change)."""
         old_key = self._make_key(old_row, rid)
         new_key = self._make_key(new_row, rid)
+        trip(self.faults, "btree.update")
         self._charge_traversal(ctx)
         if old_key == new_key:
             leaf = self.tree._find_leaf(old_key)
@@ -533,7 +539,14 @@ class PrimaryBTreeIndex(_BTreeIndexBase):
             leaf.values[idx] = new_row
         else:
             self.tree.delete(old_key)
-            self.tree.insert(new_key, new_row)
+            try:
+                trip(self.faults, "btree.insert")
+                self.tree.insert(new_key, new_row)
+            except BaseException:
+                # Keep the index atomic: put the old entry back before
+                # surfacing the failure.
+                self.tree.insert(old_key, old_row)
+                raise
         if ctx is not None:
             ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
 
@@ -630,6 +643,7 @@ class SecondaryBTreeIndex(_BTreeIndexBase):
 
     def insert(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
         """Insert one row, charging maintenance costs to ``ctx``."""
+        trip(self.faults, "btree.insert")
         self._charge_traversal(ctx)
         self.tree.insert(self._make_key(row, rid), self._payload(row))
         if ctx is not None:
@@ -637,6 +651,7 @@ class SecondaryBTreeIndex(_BTreeIndexBase):
 
     def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
         """Delete one row, charging maintenance costs to ``ctx``."""
+        trip(self.faults, "btree.delete")
         self._charge_traversal(ctx)
         self.tree.delete(self._make_key(row, rid))
         if ctx is not None:
@@ -655,9 +670,17 @@ class SecondaryBTreeIndex(_BTreeIndexBase):
         relevant = self.key_ordinals + self.included_ordinals
         if old_key == new_key and all(old_row[i] == new_row[i] for i in relevant):
             return  # the index does not cover any modified column
+        trip(self.faults, "btree.update")
         self._charge_traversal(ctx)
         self.tree.delete(old_key)
-        self.tree.insert(new_key, self._payload(new_row))
+        try:
+            trip(self.faults, "btree.insert")
+            self.tree.insert(new_key, self._payload(new_row))
+        except BaseException:
+            # Keep the index atomic: put the old entry back before
+            # surfacing the failure.
+            self.tree.insert(old_key, self._payload(old_row))
+            raise
         if ctx is not None:
             ctx.charge_serial_cpu(ctx.cost_model.btree_update_cpu_ms_per_row)
 

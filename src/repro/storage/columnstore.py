@@ -37,6 +37,7 @@ from repro.core.schema import TableSchema
 from repro.engine.batch import Batch, _column_array
 from repro.engine.metrics import ExecutionContext
 from repro.storage.compression import CompressedRowGroup, compress_rowgroup
+from repro.storage.faults import FaultInjector, trip
 from repro.storage.segment_cache import DecodedSegmentCache
 
 Row = Tuple[object, ...]
@@ -111,6 +112,8 @@ class ColumnstoreIndex:
         #: :class:`~repro.storage.table.Table` when the table belongs to a
         #: :class:`~repro.storage.database.Database`; None means uncached.
         self.segment_cache: Optional[DecodedSegmentCache] = None
+        #: Fault injector attached by the owning Table (None standalone).
+        self.faults: Optional[FaultInjector] = None
         if columns is None:
             columns = schema.columnstore_columns()
         self.columns = list(columns)
@@ -176,11 +179,21 @@ class ColumnstoreIndex:
             index._append_group(group)
         return index
 
-    def _append_group(self, group: CompressedRowGroup) -> None:
-        group_index = len(self._groups)
-        self._groups.append(_RowGroupState(group))
+    @staticmethod
+    def _register_group(
+        groups: List["_RowGroupState"],
+        locations: Dict[int, Tuple[int, int]],
+        group: CompressedRowGroup,
+    ) -> None:
+        """Append ``group`` to ``groups`` and record its rid locators in
+        ``locations`` (which may be staging state built off to the side)."""
+        group_index = len(groups)
+        groups.append(_RowGroupState(group))
         for pos, rid in enumerate(group.rids.tolist()):
-            self._rid_location[rid] = (group_index, pos)
+            locations[rid] = (group_index, pos)
+
+    def _append_group(self, group: CompressedRowGroup) -> None:
+        self._register_group(self._groups, self._rid_location, group)
 
     # ------------------------------------------------------------- sizing
     def size_bytes(self) -> int:
@@ -249,13 +262,21 @@ class ColumnstoreIndex:
         """Insert into the delta store (a B+ tree in SQL Server)."""
         if rid in self._delta or rid in self._rid_location:
             raise StorageError(f"duplicate rid {rid} in columnstore {self.name!r}")
+        trip(self.faults, "csi.delta_insert")
         self._delta[rid] = self._project(row)
         if ctx is not None:
             cm = ctx.cost_model
             ctx.charge_serial_cpu(cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms)
             ctx.charge_serial_cpu(cm.log_write_ms_per_row)
         if len(self._delta) >= self.rowgroup_size:
-            self.move_tuples(ctx)
+            try:
+                self.move_tuples(ctx)
+            except BaseException:
+                # The tuple mover mutates nothing until it commits, so
+                # the new row is still in the delta store; removing it
+                # keeps this insert all-or-nothing.
+                self._delta.pop(rid, None)
+                raise
 
     def delete(self, rid: int, row: Row, ctx: Optional[ExecutionContext] = None) -> None:
         """Delete one row. See :meth:`delete_many` for the batch path that
@@ -271,43 +292,117 @@ class ColumnstoreIndex:
         find physical locators for the delete bitmap (the expensive path
         of Figure 5). Secondary CSI: each rid is a cheap B+ tree insert
         into the delete buffer.
+
+        All-or-nothing: a failure (invalid rid, injected fault) midway
+        undoes the deletes already applied before re-raising.
         """
-        rid_list = list(rids)
+        self._delete_batch(list(rids), ctx)
+
+    def _delete_batch(
+        self, rid_list: List[int], ctx: Optional[ExecutionContext]
+    ) -> List[Tuple]:
+        """Apply one batch of deletes, returning physical undo tokens.
+
+        On failure the already-applied deletes are rolled back via their
+        tokens before the exception propagates.
+        """
         cm = ctx.cost_model if ctx is not None else None
         affected_groups: Set[int] = set()
-        for rid in rid_list:
-            if rid in self._delta:
-                del self._delta[rid]
+        applied: List[Tuple] = []
+        try:
+            for rid in rid_list:
+                trip(self.faults, "csi.delete")
+                token = self._apply_delete(rid)
+                applied.append(token)
+                if token[0] == "bitmap":
+                    affected_groups.add(token[2])
                 if cm is not None:
                     ctx.charge_serial_cpu(
                         cm.btree_update_cpu_ms_per_row + cm.log_write_ms_per_row
                     )
-                continue
-            location = self._rid_location.get(rid)
-            if location is None:
-                raise StorageError(f"rid {rid} not in columnstore {self.name!r}")
-            group_index, pos = location
-            state = self._groups[group_index]
-            if state.deleted_mask[pos]:
-                raise StorageError(f"rid {rid} already deleted")
-            if self.is_primary:
-                affected_groups.add(group_index)
-                state.deleted_mask[pos] = True
-                state.n_deleted += 1
-                del self._rid_location[rid]
-            else:
-                if rid in self._delete_buffer:
-                    raise StorageError(f"rid {rid} already deleted")
-                self._delete_buffer.add(rid)
-            if cm is not None:
-                ctx.charge_serial_cpu(
-                    cm.btree_update_cpu_ms_per_row + cm.log_write_ms_per_row
-                )
+        except BaseException:
+            self._undo_deletes(applied)
+            raise
         if self.is_primary and cm is not None:
             # One locator scan per affected row group per statement.
             for group_index in affected_groups:
                 group_rows = self._groups[group_index].group.n_rows
                 ctx.charge_serial_cpu(group_rows * cm.csi_locate_cpu_ms_per_row)
+        return applied
+
+    def _apply_delete(self, rid: int) -> Tuple:
+        """Delete one rid, returning a physical undo token:
+        ``("delta", rid, values)``, ``("bitmap", rid, group, pos)``, or
+        ``("buffer", rid)``."""
+        if rid in self._delta:
+            return ("delta", rid, self._delta.pop(rid))
+        location = self._rid_location.get(rid)
+        if location is None:
+            raise StorageError(f"rid {rid} not in columnstore {self.name!r}")
+        group_index, pos = location
+        state = self._groups[group_index]
+        if state.deleted_mask[pos]:
+            raise StorageError(f"rid {rid} already deleted")
+        if self.is_primary:
+            state.deleted_mask[pos] = True
+            state.n_deleted += 1
+            del self._rid_location[rid]
+            return ("bitmap", rid, group_index, pos)
+        if rid in self._delete_buffer:
+            raise StorageError(f"rid {rid} already deleted")
+        self._delete_buffer.add(rid)
+        return ("buffer", rid)
+
+    def _undo_deletes(self, tokens: List[Tuple]) -> None:
+        """Physically invert delete tokens (valid while no tuple move has
+        intervened, which holds inside a single delete batch)."""
+        for token in reversed(tokens):
+            kind = token[0]
+            if kind == "delta":
+                self._delta[token[1]] = token[2]
+            elif kind == "bitmap":
+                _, rid, group_index, pos = token
+                state = self._groups[group_index]
+                state.deleted_mask[pos] = False
+                state.n_deleted -= 1
+                self._rid_location[rid] = (group_index, pos)
+            else:
+                self._delete_buffer.discard(token[1])
+
+    def _remove_live_version(self, rid: int) -> None:
+        """Undo helper: logically delete ``rid``'s current live version,
+        wherever an intervening tuple move may have put it."""
+        if rid in self._delta:
+            del self._delta[rid]
+            return
+        location = self._rid_location.get(rid)
+        if location is None:
+            return  # nothing live to remove
+        if self.is_primary:
+            group_index, pos = location
+            state = self._groups[group_index]
+            if not state.deleted_mask[pos]:
+                state.deleted_mask[pos] = True
+                state.n_deleted += 1
+            del self._rid_location[rid]
+        else:
+            self._delete_buffer.add(rid)
+
+    def _restore_row(self, rid: int, values: Row) -> None:
+        """Undo helper: make ``rid`` live again holding the projected
+        ``values``. When a (stale) compressed copy survives, it stays
+        masked and the restored version becomes a delta-store shadow."""
+        if not self.is_primary and rid in self._rid_location:
+            self._delete_buffer.add(rid)
+        self._delta[rid] = values
+
+    def restore_row(self, rid: int, row: Row) -> None:
+        """Compensating operation for a delete of ``rid``: bring the row
+        back without violating the duplicate-rid check (the compressed
+        copy, if one survives, stays masked while the restored version
+        lives in the delta store). Used by the table-level rollback of a
+        partially-applied multi-index DML statement."""
+        self._restore_row(rid, self._project(row))
 
     def update(
         self,
@@ -317,46 +412,50 @@ class ColumnstoreIndex:
         ctx: Optional[ExecutionContext] = None,
     ) -> None:
         """Point update = delete + insert (Section 2)."""
-        self.delete(rid, old_row, ctx)
-        # Re-insert under the same rid. A deleted compressed rid must be
-        # purged from the delete buffer view first for secondary CSIs.
-        if not self.is_primary and rid in self._delete_buffer:
-            # The re-inserted row lives in the delta store; the buffered
-            # delete continues to mask the compressed copy. Track the new
-            # version under a shadow slot in the delta store.
-            self._delta[rid] = self._project(new_row)
-            if ctx is not None:
-                cm = ctx.cost_model
-                ctx.charge_serial_cpu(
-                    cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms
-                    + cm.log_write_ms_per_row
-                )
-            if len(self._delta) >= self.rowgroup_size:
-                self.move_tuples(ctx)
-            return
-        self.insert(rid, new_row, ctx)
+        self.update_many([(rid, old_row, new_row)], ctx)
 
     def update_many(
         self,
         updates: Sequence[Tuple[int, Row, Row]],
         ctx: Optional[ExecutionContext] = None,
     ) -> None:
-        """Batch update: one delete_many + the inserts, so primary CSIs pay
-        the locator scan once per affected group per statement."""
-        self.delete_many([rid for rid, _, _ in updates], ctx)
-        for rid, _, new_row in updates:
-            if not self.is_primary and rid in self._delete_buffer:
-                self._delta[rid] = self._project(new_row)
-                if ctx is not None:
-                    cm = ctx.cost_model
-                    ctx.charge_serial_cpu(
-                        cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms
-                        + cm.log_write_ms_per_row
-                    )
-            else:
-                self.insert(rid, new_row, ctx)
-        if len(self._delta) >= self.rowgroup_size:
-            self.move_tuples(ctx)
+        """Batch update: one delete batch + the inserts, so primary CSIs
+        pay the locator scan once per affected group per statement.
+
+        A deleted compressed rid on a secondary CSI is re-inserted as a
+        delta-store *shadow* slot: the buffered delete keeps masking the
+        compressed copy while the delta store carries the new version.
+
+        All-or-nothing: a failure mid-batch rolls back the already
+        re-inserted rows and restores the deleted ones (as delta rows when
+        a tuple move has already compressed intermediate state) before
+        re-raising.
+        """
+        old_values = {rid: self._project(old) for rid, old, _ in updates}
+        self._delete_batch([rid for rid, _, _ in updates], ctx)
+        reinserted: List[int] = []
+        try:
+            for rid, _, new_row in updates:
+                if not self.is_primary and rid in self._delete_buffer:
+                    trip(self.faults, "csi.delta_insert")
+                    self._delta[rid] = self._project(new_row)
+                    if ctx is not None:
+                        cm = ctx.cost_model
+                        ctx.charge_serial_cpu(
+                            cm.btree_update_cpu_ms_per_row + cm.seek_cpu_ms
+                            + cm.log_write_ms_per_row
+                        )
+                else:
+                    self.insert(rid, new_row, ctx)
+                reinserted.append(rid)
+            if len(self._delta) >= self.rowgroup_size:
+                self.move_tuples(ctx)
+        except BaseException:
+            for rid in reversed(reinserted):
+                self._remove_live_version(rid)
+            for rid, values in old_values.items():
+                self._restore_row(rid, values)
+            raise
 
     # ----------------------------------------------------- background ops
     def invalidate_cached_segments(self) -> None:
@@ -369,11 +468,39 @@ class ColumnstoreIndex:
         if self.segment_cache is not None:
             self.segment_cache.invalidate_object(self.object_id)
 
+    def _fold_buffered_delete(self, rid: int) -> None:
+        """Move one buffered delete into the delete bitmap of the
+        compressed copy it masks, freeing the rid's locator slot."""
+        location = self._rid_location.get(rid)
+        if location is not None:
+            group_index, pos = location
+            state = self._groups[group_index]
+            if not state.deleted_mask[pos]:
+                state.deleted_mask[pos] = True
+                state.n_deleted += 1
+            del self._rid_location[rid]
+        self._delete_buffer.discard(rid)
+
     def move_tuples(self, ctx: Optional[ExecutionContext] = None) -> None:
-        """Tuple mover: compress the delta store into a new row group."""
+        """Tuple mover: compress the delta store into a new row group.
+
+        Crash-safe: the new row group is built off to the side and only
+        then swapped in — a failure during compression leaves the delta
+        store (and the segment cache) untouched.
+
+        Shadow slots — delta rows whose rid also has a buffered-deleted
+        compressed copy (a secondary-CSI update of a compressed row) —
+        are resolved first by folding the buffered delete into the old
+        copy's delete bitmap. Otherwise compressing the shadow would
+        leave one rid in two row groups with a single delete-buffer entry
+        masking *both*, silently losing the row from scans.
+        """
         if not self._delta:
             return
-        self.invalidate_cached_segments()
+        if not self.is_primary and self._delete_buffer:
+            for rid in [r for r in self._delta if r in self._delete_buffer]:
+                self._fold_buffered_delete(rid)
+        trip(self.faults, "csi.move_tuples.compress")
         items = sorted(self._delta.items())
         rids = np.fromiter((rid for rid, _ in items), dtype=np.int64,
                            count=len(items))
@@ -381,9 +508,15 @@ class ColumnstoreIndex:
             col: _column_array([values[i] for _, values in items])
             for i, col in enumerate(self.columns)
         }
-        group = compress_rowgroup(self.schema, column_data, rids)
+        try:
+            group = compress_rowgroup(self.schema, column_data, rids)
+        except BaseException:
+            self.invalidate_cached_segments()  # conservative on abort
+            raise
+        # Commit point: publish the new group and drain the delta store.
         self._append_group(group)
         self._delta.clear()
+        self.invalidate_cached_segments()
         if ctx is not None:
             cm = ctx.cost_model
             ctx.charge_serial_cpu(len(items) * cm.csi_compress_cpu_ms_per_row)
@@ -398,35 +531,47 @@ class ColumnstoreIndex:
         scan performance: no delete-bitmap masking, no anti-semi join,
         and full-size row groups with tight min/max metadata.
         """
-        self.invalidate_cached_segments()
-        live: List[Tuple[int, Row]] = []
-        for state in self._groups:
-            group = state.group
-            decoded = {name: group.column(name).decode()
-                       for name in self.columns}
-            for pos, rid in enumerate(group.rids.tolist()):
-                if state.deleted_mask[pos]:
-                    continue
-                if not self.is_primary and rid in self._delete_buffer:
-                    continue
-                live.append((rid, tuple(decoded[name][pos]
-                                        for name in self.columns)))
-        live.extend(sorted(self._delta.items()))
-        live.sort()
-        self._groups = []
-        self._rid_location = {}
+        trip(self.faults, "csi.rebuild.compress")
+        try:
+            live: List[Tuple[int, Row]] = []
+            for state in self._groups:
+                group = state.group
+                decoded = {name: group.column(name).decode()
+                           for name in self.columns}
+                for pos, rid in enumerate(group.rids.tolist()):
+                    if state.deleted_mask[pos]:
+                        continue
+                    if not self.is_primary and rid in self._delete_buffer:
+                        continue
+                    if rid in self._delta:
+                        continue  # delta shadow supersedes the old copy
+                    live.append((rid, tuple(decoded[name][pos]
+                                            for name in self.columns)))
+            live.extend(sorted(self._delta.items()))
+            live.sort()
+            # Build the replacement state entirely off to the side; the
+            # old groups stay valid until the swap below.
+            new_groups: List[_RowGroupState] = []
+            new_locations: Dict[int, Tuple[int, int]] = {}
+            for start in range(0, len(live), self.rowgroup_size):
+                chunk = live[start:start + self.rowgroup_size]
+                rids = np.fromiter((rid for rid, _ in chunk), dtype=np.int64,
+                                   count=len(chunk))
+                column_data = {
+                    name: _column_array([values[i] for _, values in chunk])
+                    for i, name in enumerate(self.columns)
+                }
+                group = compress_rowgroup(self.schema, column_data, rids)
+                self._register_group(new_groups, new_locations, group)
+        except BaseException:
+            self.invalidate_cached_segments()  # conservative on abort
+            raise
+        # Commit point: atomically swap in the rebuilt state.
+        self._groups = new_groups
+        self._rid_location = new_locations
         self._delta = {}
         self._delete_buffer = set()
-        for start in range(0, len(live), self.rowgroup_size):
-            chunk = live[start:start + self.rowgroup_size]
-            rids = np.fromiter((rid for rid, _ in chunk), dtype=np.int64,
-                               count=len(chunk))
-            column_data = {
-                name: _column_array([values[i] for _, values in chunk])
-                for i, name in enumerate(self.columns)
-            }
-            group = compress_rowgroup(self.schema, column_data, rids)
-            self._append_group(group)
+        self.invalidate_cached_segments()
         if ctx is not None:
             cm = ctx.cost_model
             ctx.charge_serial_cpu(
@@ -454,23 +599,24 @@ class ColumnstoreIndex:
 
     def compact_delete_buffer(self, ctx: Optional[ExecutionContext] = None) -> None:
         """Background compaction: fold the delete buffer into the delete
-        bitmaps so scans no longer pay the anti-semi join (Section 2)."""
-        if self._delete_buffer:
-            self.invalidate_cached_segments()
-        for rid in list(self._delete_buffer):
-            location = self._rid_location.get(rid)
-            if location is None:
-                self._delete_buffer.discard(rid)
-                continue
-            group_index, pos = location
-            state = self._groups[group_index]
-            if not state.deleted_mask[pos]:
-                state.deleted_mask[pos] = True
-                state.n_deleted += 1
-            del self._rid_location[rid]
-            self._delete_buffer.discard(rid)
+        bitmaps so scans no longer pay the anti-semi join (Section 2).
+
+        A no-op on an empty buffer costs nothing; otherwise the CPU
+        charge is proportional to the number of rids folded. Crash-safe:
+        the fold plan is computed first and applied in one step, so a
+        failure before the commit point changes nothing.
+        """
+        if not self._delete_buffer:
+            return
+        trip(self.faults, "csi.compact_delete_buffer")
+        folded = list(self._delete_buffer)
+        # Commit point: apply every fold in one uninterruptible pass.
+        for rid in folded:
+            self._fold_buffered_delete(rid)
+        self.invalidate_cached_segments()
         if ctx is not None:
-            ctx.charge_serial_cpu(0.5)
+            ctx.charge_serial_cpu(
+                len(folded) * ctx.cost_model.btree_update_cpu_ms_per_row)
 
     # ------------------------------------------------------------- scans
     def scan(

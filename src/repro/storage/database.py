@@ -14,6 +14,7 @@ from repro.core.errors import CatalogError
 from repro.core.schema import TableSchema
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.storage.columnstore import ColumnstoreIndex
+from repro.storage.faults import FaultInjector
 from repro.storage.segment_cache import (
     DEFAULT_SEGMENT_CACHE_BUDGET,
     DecodedSegmentCache,
@@ -45,6 +46,11 @@ class Database:
             budget_bytes=segment_cache_budget_bytes,
             enabled=segment_cache_enabled,
         )
+        #: Shared fault injector, attached to every index structure of
+        #: every table. Disarmed by default — arming points (see
+        #: :mod:`repro.storage.faults`) is how robustness tests simulate
+        #: storage failures mid-statement.
+        self.fault_injector = FaultInjector()
         self._tables: Dict[str, Table] = {}
 
     # ------------------------------------------------------------ tables
@@ -52,7 +58,8 @@ class Database:
         """Create and register a new empty table."""
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
-        table = Table(schema, segment_cache=self.segment_cache)
+        table = Table(schema, segment_cache=self.segment_cache,
+                      fault_injector=self.fault_injector)
         self._tables[schema.name] = table
         return table
 

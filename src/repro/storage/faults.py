@@ -1,0 +1,217 @@
+"""Deterministic fault injection for the storage engine.
+
+Real engines prove their DML atomicity guarantees by injecting failures
+mid-operation (SQL Server's fault-injection test harness behind DBCC
+CHECKDB is the model here). This module provides the same capability for
+the repro engine: a :class:`FaultInjector` is registered on a
+:class:`~repro.storage.database.Database` and threaded through every
+storage structure; named *injection points* sprinkled through
+``heap.py``, ``btree.py``, ``columnstore.py`` and ``table.py`` call
+:meth:`FaultInjector.hit` just before the mutation they guard, and an
+armed injector raises :class:`InjectedFault` there.
+
+Three schedules are supported:
+
+* **Nth hit** (:meth:`FaultInjector.arm`): fire once on the Nth time the
+  point is reached after arming — the workhorse of the exhaustive fault
+  sweep in ``tests/test_faults.py``.
+* **Probabilistic** (:meth:`FaultInjector.arm_probabilistic`): fire each
+  hit with probability ``p`` from a seeded RNG (chaos testing with a
+  reproducible seed).
+* **Scripted** (:meth:`FaultInjector.arm_script`): a boolean sequence
+  consumed one entry per hit (precise multi-fault choreography).
+
+The injector is inert unless a point is armed: ``hit`` then only counts,
+so production paths and every figure/experiment output are unchanged.
+During rollback the engine wraps compensating work in
+:meth:`FaultInjector.suspended` so an undo path can never itself fault.
+"""
+
+from __future__ import annotations
+
+import random
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence
+
+from repro.core.errors import StorageError
+
+#: Catalog of every injection point threaded through the storage layer.
+#: Tests iterate this tuple to prove exhaustive coverage; ``arm``/``hit``
+#: reject names outside it so points cannot silently rot.
+INJECTION_POINTS = (
+    # Heap file mutations.
+    "heap.insert",
+    "heap.delete",
+    "heap.update",
+    # B+ tree index mutations (primary and secondary flavours share the
+    # points: what matters is which physical step is about to run).
+    "btree.insert",
+    "btree.delete",
+    "btree.update",
+    # Columnstore DML: delta-store insert, per-rid delete (delta removal,
+    # delete-bitmap mark, or delete-buffer insert).
+    "csi.delta_insert",
+    "csi.delete",
+    # Columnstore maintenance: tuple-mover compression, full rebuild,
+    # delete-buffer compaction.
+    "csi.move_tuples.compress",
+    "csi.rebuild.compress",
+    "csi.compact_delete_buffer",
+    # Table-level: fires before each secondary index receives its share
+    # of a DML statement (the classic half-updated-table scenario).
+    "table.secondary_apply",
+)
+
+_POINT_SET = frozenset(INJECTION_POINTS)
+
+
+class InjectedFault(StorageError):
+    """Raised by an armed :class:`FaultInjector` at an injection point.
+
+    Subclasses :class:`~repro.core.errors.StorageError` so injected
+    faults travel the same recovery paths as organic storage failures.
+    """
+
+    def __init__(self, point: str, hit_number: int):
+        super().__init__(
+            f"injected fault at {point!r} (hit {hit_number})")
+        self.point = point
+        self.hit_number = hit_number
+
+
+class FaultInjector:
+    """Registry of armed injection points plus hit/injection counters.
+
+    One injector is shared by a database's tables and index structures;
+    standalone structures have ``faults = None`` and skip all checks.
+    """
+
+    def __init__(self, enabled: bool = True):
+        #: Master switch: a disabled injector neither counts nor fires.
+        self.enabled = enabled
+        #: Cumulative hits per point since construction / ``reset``.
+        self.hits: Dict[str, int] = {p: 0 for p in INJECTION_POINTS}
+        #: Faults actually raised per point.
+        self.injected: Dict[str, int] = {p: 0 for p in INJECTION_POINTS}
+        self._armed: Dict[str, dict] = {}
+        self._suspend_depth = 0
+
+    # ------------------------------------------------------------ arming
+    @staticmethod
+    def _validate(point: str) -> None:
+        if point not in _POINT_SET:
+            raise StorageError(
+                f"unknown injection point {point!r}; "
+                f"known points: {', '.join(INJECTION_POINTS)}")
+
+    def arm(self, point: str, on_hit: int = 1) -> None:
+        """Fire once on the ``on_hit``-th hit of ``point`` from now.
+
+        One-shot: the arming is consumed when it fires.
+        """
+        self._validate(point)
+        if on_hit < 1:
+            raise StorageError("on_hit must be >= 1")
+        self._armed[point] = {"kind": "nth", "remaining": on_hit}
+
+    def arm_probabilistic(self, point: str, probability: float,
+                          seed: int = 0) -> None:
+        """Fire each hit of ``point`` with the given probability, drawn
+        from a dedicated RNG seeded with ``seed`` for reproducibility."""
+        self._validate(point)
+        if not 0.0 <= probability <= 1.0:
+            raise StorageError("probability must be within [0, 1]")
+        self._armed[point] = {
+            "kind": "probability",
+            "probability": probability,
+            "rng": random.Random(seed),
+        }
+
+    def arm_script(self, point: str, script: Sequence[bool]) -> None:
+        """Consume one ``script`` entry per hit; truthy entries fire.
+        The arming disarms itself once the script is exhausted."""
+        self._validate(point)
+        self._armed[point] = {"kind": "script", "script": list(script)}
+
+    def disarm(self, point: Optional[str] = None) -> None:
+        """Disarm one point, or every point when ``point`` is None."""
+        if point is None:
+            self._armed.clear()
+        else:
+            self._validate(point)
+            self._armed.pop(point, None)
+
+    def reset(self) -> None:
+        """Disarm everything and zero the counters."""
+        self._armed.clear()
+        self.hits = {p: 0 for p in INJECTION_POINTS}
+        self.injected = {p: 0 for p in INJECTION_POINTS}
+
+    def armed_points(self) -> Sequence[str]:
+        """Names of currently armed points."""
+        return tuple(self._armed)
+
+    # ---------------------------------------------------------- counters
+    @property
+    def total_hits(self) -> int:
+        """Total hits across every point."""
+        return sum(self.hits.values())
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults raised across every point."""
+        return sum(self.injected.values())
+
+    # --------------------------------------------------------- execution
+    @property
+    def active(self) -> bool:
+        """Whether hits are currently being counted / fired."""
+        return self.enabled and self._suspend_depth == 0
+
+    @contextmanager
+    def suspended(self) -> Iterator[None]:
+        """Context manager that masks the injector — used around
+        compensating (rollback) work so undo paths cannot fault."""
+        self._suspend_depth += 1
+        try:
+            yield
+        finally:
+            self._suspend_depth -= 1
+
+    def hit(self, point: str) -> None:
+        """Record one arrival at ``point``; raise if an arming fires."""
+        if point not in _POINT_SET:
+            raise StorageError(f"unknown injection point {point!r}")
+        if not self.active:
+            return
+        self.hits[point] += 1
+        arming = self._armed.get(point)
+        if arming is None:
+            return
+        fire = False
+        kind = arming["kind"]
+        if kind == "nth":
+            arming["remaining"] -= 1
+            if arming["remaining"] == 0:
+                fire = True
+                del self._armed[point]
+        elif kind == "probability":
+            fire = arming["rng"].random() < arming["probability"]
+        else:  # scripted
+            if arming["script"]:
+                fire = bool(arming["script"].pop(0))
+            if not arming["script"]:
+                del self._armed[point]
+        if fire:
+            self.injected[point] += 1
+            raise InjectedFault(point, self.hits[point])
+
+
+def trip(faults: Optional[FaultInjector], point: str) -> None:
+    """Hit ``point`` on ``faults`` when an injector is attached.
+
+    The one-liner every storage structure calls just before a guarded
+    mutation; ``faults is None`` (standalone structures) is free.
+    """
+    if faults is not None:
+        faults.hit(point)

@@ -10,6 +10,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from repro.core.errors import StorageError
 from repro.core.schema import TableSchema
 from repro.engine.metrics import ExecutionContext
+from repro.storage.faults import FaultInjector, trip
 
 Row = Tuple[object, ...]
 
@@ -25,6 +26,8 @@ class HeapFile:
         self.schema = schema
         self.object_id = object_id
         self._rows: Dict[int, Row] = {}
+        #: Fault injector attached by the owning Table (None standalone).
+        self.faults: Optional[FaultInjector] = None
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -38,6 +41,7 @@ class HeapFile:
         """Insert one row, charging maintenance costs to ``ctx``."""
         if rid in self._rows:
             raise StorageError(f"duplicate rid {rid} in heap {self.name!r}")
+        trip(self.faults, "heap.insert")
         self._rows[rid] = row
         if ctx is not None:
             ctx.charge_serial_cpu(ctx.cost_model.log_write_ms_per_row)
@@ -46,6 +50,7 @@ class HeapFile:
         """Delete one row, charging maintenance costs to ``ctx``."""
         if rid not in self._rows:
             raise StorageError(f"rid {rid} not in heap {self.name!r}")
+        trip(self.faults, "heap.delete")
         del self._rows[rid]
         if ctx is not None:
             ctx.charge_serial_cpu(ctx.cost_model.log_write_ms_per_row)
@@ -60,6 +65,7 @@ class HeapFile:
         """Update one row in place (delete+insert when keys change)."""
         if rid not in self._rows:
             raise StorageError(f"rid {rid} not in heap {self.name!r}")
+        trip(self.faults, "heap.update")
         self._rows[rid] = new_row
         if ctx is not None:
             ctx.charge_serial_cpu(ctx.cost_model.log_write_ms_per_row)

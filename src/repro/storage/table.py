@@ -18,13 +18,16 @@ delete-buffer behaviours of Figure 5 come from.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+from contextlib import nullcontext
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from repro.core.errors import CatalogError, StorageError
 from repro.core.schema import TableSchema
 from repro.engine.metrics import ExecutionContext
 from repro.storage.btree import PrimaryBTreeIndex, SecondaryBTreeIndex
 from repro.storage.columnstore import ColumnstoreIndex
+from repro.storage.faults import FaultInjector, InjectedFault, trip
 from repro.storage.heap import HeapFile
 
 Row = Tuple[object, ...]
@@ -35,12 +38,18 @@ SecondaryIndex = Union[SecondaryBTreeIndex, ColumnstoreIndex]
 class Table:
     """A named table with a schema, rows, and physical design."""
 
-    def __init__(self, schema: TableSchema, segment_cache=None):
+    def __init__(self, schema: TableSchema, segment_cache=None,
+                 fault_injector: Optional[FaultInjector] = None):
         self.schema = schema
         self.name = schema.name
         self._rows: Dict[int, Row] = {}
         self._next_rid = 0
+        #: Shared fault injector handed down by the owning Database;
+        #: attached to every index structure built on this table. None
+        #: (standalone tables) disables injection entirely.
+        self.fault_injector = fault_injector
         self.primary: PrimaryStructure = HeapFile(f"{self.name}_heap", schema)
+        self.primary.faults = fault_injector
         self.secondary_indexes: Dict[str, SecondaryIndex] = {}
         #: Shared decoded-segment cache handed down by the owning
         #: Database; attached to every columnstore built on this table.
@@ -125,6 +134,7 @@ class Table:
         index = PrimaryBTreeIndex.build(
             index_name, self.schema, key_columns, self.rows_with_rids()
         )
+        index.faults = self.fault_injector
         self._evict_cached_segments(self.primary)
         self.primary = index
         return index
@@ -154,6 +164,7 @@ class Table:
             is_primary=True, presorted=presorted, **kwargs,
         )
         index.segment_cache = self.segment_cache
+        index.faults = self.fault_injector
         self._evict_cached_segments(self.primary)
         self.primary = index
         return index
@@ -161,6 +172,7 @@ class Table:
     def set_primary_heap(self) -> HeapFile:
         """Convert the primary structure back to a heap file."""
         heap = HeapFile(f"{self.name}_heap", self.schema)
+        heap.faults = self.fault_injector
         for rid, row in self.iter_rows():
             heap.insert(rid, row)
         self._evict_cached_segments(self.primary)
@@ -179,6 +191,7 @@ class Table:
             name, self.schema, key_columns, self.rows_with_rids(),
             included_columns=included_columns,
         )
+        index.faults = self.fault_injector
         self.secondary_indexes[name] = index
         return index
 
@@ -224,6 +237,7 @@ class Table:
             **kwargs,
         )
         index.segment_cache = self.segment_cache
+        index.faults = self.fault_injector
         self.secondary_indexes[name] = index
         return index
 
@@ -249,6 +263,38 @@ class Table:
         return sum(index.size_bytes() for index in self.all_indexes)
 
     # --------------------------------------------------------------- DML
+    #
+    # Every DML entry point is atomic across the primary structure and
+    # all secondary indexes: if any index raises mid-statement (invalid
+    # row, injected fault), the structures already touched are undone via
+    # compensating operations — in reverse apply order, with fault
+    # injection suspended so the rollback itself cannot fault — before
+    # the original exception propagates. ``_rows``, ``_next_rid`` burn
+    # aside, and ``modification_counter`` only advance on success.
+
+    def _rollback_guard(self):
+        """Suspend fault injection while compensating operations run."""
+        if self.fault_injector is not None:
+            return self.fault_injector.suspended()
+        return nullcontext()
+
+    def _note_rollback(self, ctx: Optional[ExecutionContext],
+                       exc: BaseException) -> None:
+        if ctx is not None:
+            ctx.metrics.rollbacks += 1
+            if isinstance(exc, InjectedFault):
+                ctx.metrics.faults_injected += 1
+
+    @staticmethod
+    def _undo_delete(structure, rid: int, row: Row) -> None:
+        """Compensate one applied delete. Columnstores need
+        ``restore_row`` (a plain insert would trip the duplicate-rid
+        check while a buffered compressed copy survives)."""
+        if isinstance(structure, ColumnstoreIndex):
+            structure.restore_row(rid, row)
+        else:
+            structure.insert(rid, row)
+
     def insert_row(self, row: Sequence[object],
                    ctx: Optional[ExecutionContext] = None) -> int:
         """Insert one validated row into the table and all indexes."""
@@ -256,18 +302,33 @@ class Table:
         rid = self._next_rid
         self._next_rid += 1
         self._rows[rid] = validated
-        self.primary.insert(rid, validated, ctx)
-        for index in self.secondary_indexes.values():
-            index.insert(rid, validated, ctx)
+        applied: List = []
+        try:
+            self.primary.insert(rid, validated, ctx)
+            applied.append(self.primary)
+            for index in self.secondary_indexes.values():
+                trip(self.fault_injector, "table.secondary_apply")
+                index.insert(rid, validated, ctx)
+                applied.append(index)
+        except BaseException as exc:
+            with self._rollback_guard():
+                for structure in reversed(applied):
+                    structure.delete(rid, validated)
+                del self._rows[rid]
+            self._note_rollback(ctx, exc)
+            raise
         self.modification_counter += 1
         return rid
 
     def bulk_load(self, rows: Sequence[Sequence[object]]) -> List[int]:
         """Fast path used by workload generators: validates and stores rows
         without index maintenance; call before creating indexes."""
-        if self.all_indexes != [self.primary] or len(self.primary) != 0:
-            if self.secondary_indexes or len(self.primary) != 0:
-                raise StorageError("bulk_load requires an empty, index-free table")
+        if self.secondary_indexes or len(self.primary) != 0:
+            raise StorageError(
+                f"bulk_load requires an empty, index-free table; "
+                f"{self.name!r} has {len(self.primary)} rows and "
+                f"{len(self.secondary_indexes)} secondary indexes"
+            )
         rids = []
         for row in rows:
             validated = self.schema.validate_row(row)
@@ -276,14 +337,26 @@ class Table:
             self._rows[rid] = validated
             self.primary.insert(rid, validated)
             rids.append(rid)
+        self.modification_counter += len(rids)
         return rids
 
     def delete_rid(self, rid: int, ctx: Optional[ExecutionContext] = None) -> Row:
         """Delete one row by RID through every index."""
         row = self.get_row(rid)
-        self.primary.delete(rid, row, ctx)
-        for index in self.secondary_indexes.values():
-            index.delete(rid, row, ctx)
+        applied: List = []
+        try:
+            self.primary.delete(rid, row, ctx)
+            applied.append(self.primary)
+            for index in self.secondary_indexes.values():
+                trip(self.fault_injector, "table.secondary_apply")
+                index.delete(rid, row, ctx)
+                applied.append(index)
+        except BaseException as exc:
+            with self._rollback_guard():
+                for structure in reversed(applied):
+                    self._undo_delete(structure, rid, row)
+            self._note_rollback(ctx, exc)
+            raise
         del self._rows[rid]
         self.modification_counter += 1
         return row
@@ -293,12 +366,30 @@ class Table:
         """Batch delete: lets columnstores amortise their per-statement
         row-group locator scans."""
         rows = {rid: self.get_row(rid) for rid in rids}
-        for structure in self.all_indexes:
-            if isinstance(structure, ColumnstoreIndex):
-                structure.delete_many(list(rows), ctx)
-            else:
-                for rid, row in rows.items():
-                    structure.delete(rid, row, ctx)
+        applied: List[Tuple[SecondaryIndex, List[int]]] = []
+        try:
+            for structure in self.all_indexes:
+                if structure is not self.primary:
+                    trip(self.fault_injector, "table.secondary_apply")
+                if isinstance(structure, ColumnstoreIndex):
+                    # Internally all-or-nothing: on failure it has already
+                    # undone its partial batch, so record it only when it
+                    # returns.
+                    structure.delete_many(list(rows), ctx)
+                    applied.append((structure, list(rows)))
+                else:
+                    done: List[int] = []
+                    applied.append((structure, done))
+                    for rid, row in rows.items():
+                        structure.delete(rid, row, ctx)
+                        done.append(rid)
+        except BaseException as exc:
+            with self._rollback_guard():
+                for structure, done in reversed(applied):
+                    for rid in reversed(done):
+                        self._undo_delete(structure, rid, rows[rid])
+            self._note_rollback(ctx, exc)
+            raise
         for rid in rows:
             del self._rows[rid]
         self.modification_counter += len(rows)
@@ -307,30 +398,51 @@ class Table:
     def update_rid(self, rid: int, new_row: Sequence[object],
                    ctx: Optional[ExecutionContext] = None) -> None:
         """Replace one row by RID through every index."""
-        validated = self.schema.validate_row(new_row)
-        old_row = self.get_row(rid)
-        self.primary.update(rid, old_row, validated, ctx)
-        for index in self.secondary_indexes.values():
-            index.update(rid, old_row, validated, ctx)
-        self._rows[rid] = validated
-        self.modification_counter += 1
+        self.update_rids([(rid, new_row)], ctx)
 
     def update_rids(
         self,
         updates: Sequence[Tuple[int, Sequence[object]]],
         ctx: Optional[ExecutionContext] = None,
     ) -> int:
-        """Batch update, amortising columnstore locator scans per statement."""
-        triples = []
+        """Batch update, amortising columnstore locator scans per statement.
+
+        Duplicate rids in ``updates`` collapse last-write-wins: each rid is
+        applied to every index exactly once, with its final value (applying
+        the same rid twice per statement would double-charge maintenance
+        and corrupt delete buffers)."""
+        final: Dict[int, Row] = {}
         for rid, new_row in updates:
-            validated = self.schema.validate_row(new_row)
-            triples.append((rid, self.get_row(rid), validated))
-        for structure in self.all_indexes:
-            if isinstance(structure, ColumnstoreIndex):
-                structure.update_many(triples, ctx)
-            else:
-                for rid, old_row, new_row in triples:
-                    structure.update(rid, old_row, new_row, ctx)
+            final[rid] = self.schema.validate_row(new_row)
+        triples = [(rid, self.get_row(rid), validated)
+                   for rid, validated in final.items()]
+        applied: List[Tuple[SecondaryIndex, List[Tuple[int, Row, Row]]]] = []
+        try:
+            for structure in self.all_indexes:
+                if structure is not self.primary:
+                    trip(self.fault_injector, "table.secondary_apply")
+                if isinstance(structure, ColumnstoreIndex):
+                    # Internally all-or-nothing (see delete_rids).
+                    structure.update_many(triples, ctx)
+                    applied.append((structure, list(triples)))
+                else:
+                    done: List[Tuple[int, Row, Row]] = []
+                    applied.append((structure, done))
+                    for rid, old_row, new_row in triples:
+                        structure.update(rid, old_row, new_row, ctx)
+                        done.append((rid, old_row, new_row))
+        except BaseException as exc:
+            with self._rollback_guard():
+                for structure, done in reversed(applied):
+                    if isinstance(structure, ColumnstoreIndex):
+                        structure.update_many(
+                            [(rid, new_row, old_row)
+                             for rid, old_row, new_row in done])
+                    else:
+                        for rid, old_row, new_row in reversed(done):
+                            structure.update(rid, new_row, old_row)
+            self._note_rollback(ctx, exc)
+            raise
         for rid, _, new_row in triples:
             self._rows[rid] = new_row
         self.modification_counter += len(triples)

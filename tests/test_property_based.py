@@ -192,6 +192,70 @@ def test_sql_aggregate_matches_python_oracle(rows, threshold):
     assert result2.rows == result.rows
 
 
+# ------------------------------------------- interleaved DML + checker
+def _dml_table(design):
+    from repro.core.types import varchar
+
+    db = Database()
+    table = db.create_table(TableSchema("t", [
+        Column("a", INT, nullable=False),
+        Column("b", INT, nullable=False),
+        Column("s", varchar(8), nullable=False),
+    ]))
+    table.bulk_load([(i, i % 10, f"s{i % 3}") for i in range(120)])
+    if design == "csi_primary":
+        table.set_primary_columnstore(rowgroup_size=64)
+        table.create_secondary_btree("ix_b", ["b"], included_columns=["s"])
+    else:
+        table.set_primary_btree(["a"])
+        table.create_secondary_columnstore("csi", rowgroup_size=64)
+        table.create_secondary_btree("ix_b", ["b"])
+    return db, table
+
+
+dml_step = st.tuples(
+    st.sampled_from(["insert", "delete", "update", "update_batch",
+                     "reorganize", "rebuild"]),
+    st.integers(min_value=0, max_value=10_000),
+)
+
+
+@slow
+@given(st.sampled_from(["csi_primary", "btree_primary"]),
+       st.lists(dml_step, min_size=1, max_size=40))
+def test_interleaved_dml_keeps_every_index_consistent(design, steps):
+    """After every DML / maintenance step, each physical structure must
+    agree exactly with the table's logical rows (CHECKDB-style)."""
+    from repro.storage.checker import check_table
+
+    db, table = _dml_table(design)
+    next_a = 100_000
+    for i, (op, pick) in enumerate(steps):
+        rids = sorted(table._rows)
+        if op == "insert" or not rids:
+            table.insert_row((next_a + i, pick % 10, "ins"))
+        elif op == "delete":
+            table.delete_rid(rids[pick % len(rids)])
+        elif op == "update":
+            rid = rids[pick % len(rids)]
+            table.update_rid(rid, (200_000 + i, pick % 10, "upd"))
+        elif op == "update_batch":
+            chosen = {rids[(pick + j) % len(rids)] for j in range(3)}
+            table.update_rids([
+                (rid, (300_000 + i * 10 + j, (pick + j) % 10, "ub"))
+                for j, rid in enumerate(sorted(chosen))])
+        elif op == "reorganize":
+            for index in table.all_indexes:
+                if index.kind == "csi":
+                    index.reorganize()
+        else:
+            for index in table.all_indexes:
+                if index.kind == "csi":
+                    index.rebuild()
+        result = check_table(table)
+        assert result.ok, f"step {i} ({op}): {result.summary()}"
+
+
 # ----------------------------------------------------------- locks
 @slow
 @given(st.lists(st.tuples(st.integers(min_value=0, max_value=4),

@@ -253,3 +253,56 @@ class TestDatabase:
         inventory = db.index_inventory()
         assert any("ix" in line for line in inventory)
         assert any("heap" in line for line in inventory)
+
+
+class TestUpdateRidsDedup:
+    def make_hybrid_table(self):
+        table = loaded_table(300)
+        table.set_primary_btree(["a"])
+        table.create_secondary_btree("ix_b", ["b"], included_columns=["s"])
+        table.create_secondary_columnstore("csi", rowgroup_size=64)
+        return table
+
+    def test_duplicate_rid_last_write_wins(self):
+        table = self.make_hybrid_table()
+        # Two updates to the same rid in one batch: before dedup the
+        # second entry tripped "already deleted" in the secondary
+        # columnstore; now the batch collapses to the last write.
+        updated = table.update_rids([
+            (5, (5, 111, "first")),
+            (5, (5, 222, "last")),
+        ])
+        assert updated == 1
+        assert table.get_row(5) == (5, 222, "last")
+        ix = table.secondary_indexes["ix_b"]
+        assert not list(ix.seek_range((111,), (111,)))
+        hits = list(ix.seek_range((222,), (222,)))
+        assert [vals for _, vals in hits] == [(222, "last")]
+
+    def test_duplicate_rid_batch_stays_consistent(self):
+        from repro.storage.checker import check_table
+        table = self.make_hybrid_table()
+        table.update_rids([
+            (7, (7, 300, "a")),
+            (8, (8, 301, "b")),
+            (7, (7, 302, "c")),
+        ])
+        assert table.get_row(7) == (7, 302, "c")
+        result = check_table(table)
+        assert result.ok, result.summary()
+
+
+class TestBulkLoadGuard:
+    def test_bulk_load_bumps_modification_counter(self):
+        table = Table(schema())
+        before = table.modification_counter
+        table.bulk_load([(i, i, "x") for i in range(40)])
+        assert table.modification_counter == before + 40
+
+    def test_bulk_load_error_names_the_obstruction(self):
+        table = loaded_table(10)
+        table.create_secondary_btree("ix", ["b"])
+        with pytest.raises(StorageError) as exc:
+            table.bulk_load([(1000, 0, "x")])
+        message = str(exc.value)
+        assert "10 rows" in message and "1 secondary" in message
