@@ -10,6 +10,13 @@ Server's batch vs row mode distinction.
 Row-mode operators exchange plain tuples. :func:`batch_to_rows` and
 :func:`rows_to_batch` adapt between the two worlds at mode boundaries
 (the paper notes hybrid plans mix both modes, Section 4.5).
+
+A batch column is either a plain numpy array or an
+:class:`~repro.engine.encoded.EncodedColumn` (dictionary codes + shared
+dictionary, produced by columnstore scans over dict/RLE string
+segments). Encoded columns survive filtering/projection untouched and
+materialize lazily at :func:`batch_to_rows` — the late-materialization
+boundary.
 """
 
 from __future__ import annotations
@@ -19,8 +26,38 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import ExecutionError
+from repro.engine.encoded import EncodedColumn, concat_encoded
 
 Row = Tuple[object, ...]
+
+#: Rows sampled per object column when estimating payload size.
+_PAYLOAD_SAMPLE_ROWS = 16
+
+
+def _python_value_bytes(value: object) -> int:
+    """Rough in-memory footprint of one Python value in an object column."""
+    if value is None:
+        return 16
+    if isinstance(value, str):
+        return 49 + len(value)  # CPython compact-str header + payload
+    if isinstance(value, bytes):
+        return 33 + len(value)
+    return 28  # boxed int/float/bool
+
+
+def _object_column_bytes(column, length: int) -> int:
+    """Estimate an object column's payload from a sample of actual value
+    sizes (a flat per-value constant badly underestimates wide strings,
+    starving memory-grant accounting). Sampling is deterministic (evenly
+    spaced rows) so the estimate is identical for an encoded column and
+    its decoded twin."""
+    if length == 0:
+        return 0
+    n_samples = min(length, _PAYLOAD_SAMPLE_ROWS)
+    step = max(1, length // n_samples)
+    positions = range(0, length, step)
+    sampled = [_python_value_bytes(column[i]) for i in positions]
+    return int(length * (sum(sampled) / len(sampled)))
 
 
 class Batch:
@@ -76,23 +113,32 @@ class Batch:
         return Batch({name: arr[:n] for name, arr in self.columns.items()})
 
     def payload_bytes(self) -> int:
-        """Approximate in-memory size, used for memory-grant accounting."""
+        """Approximate in-memory size, used for memory-grant accounting.
+
+        Object (string) columns are estimated from a deterministic sample
+        of actual value sizes; encoded columns sample through their
+        dictionary without materializing, so both representations of the
+        same data report the same estimate.
+        """
         total = 0
         for arr in self.columns.values():
             if arr.dtype == object:
-                total += self.length * 24
+                total += _object_column_bytes(arr, self.length)
             else:
                 total += arr.nbytes
         return total
 
 
 def rows_to_batch(rows: Sequence[Row], names: Sequence[str]) -> Optional[Batch]:
-    """Pivot row tuples into a columnar batch; None when ``rows`` is empty."""
+    """Pivot row tuples into a columnar batch; None when ``rows`` is empty.
+
+    A single ``zip(*rows)`` transposes all columns in one C-level pass
+    instead of one list comprehension over every row per column.
+    """
     if not rows:
         return None
     columns: Dict[str, np.ndarray] = {}
-    for i, name in enumerate(names):
-        values = [row[i] for row in rows]
+    for name, values in zip(names, zip(*rows)):
         columns[name] = _column_array(values)
     return Batch(columns)
 
@@ -107,7 +153,7 @@ def batch_to_rows(batch: Batch, names: Optional[Sequence[str]] = None) -> List[R
     return list(zip(*pythonic))
 
 
-def _column_array(values: List[object]) -> np.ndarray:
+def _column_array(values: Sequence[object]) -> np.ndarray:
     """Build a numpy array with a sensible dtype for a value list.
 
     All-integer lists stay int64; mixed int/float lists promote to
@@ -141,8 +187,18 @@ def concat_batches(batches: Iterable[Batch]) -> Optional[Batch]:
     columns: Dict[str, np.ndarray] = {}
     for name in names:
         arrays = [b.column(name) for b in materialized]
+        if all(isinstance(a, EncodedColumn) for a in arrays):
+            # Same-dictionary encoded runs concatenate on codes and stay
+            # encoded; mixed dictionaries materialize below.
+            encoded = concat_encoded(arrays)
+            if encoded is not None:
+                columns[name] = encoded
+                continue
         if any(a.dtype == object for a in arrays):
-            arrays = [a.astype(object) for a in arrays]
+            # Cast only the arrays that are not already object dtype.
+            arrays = [a.materialize() if isinstance(a, EncodedColumn)
+                      else (a if a.dtype == object else a.astype(object))
+                      for a in arrays]
         columns[name] = np.concatenate(arrays)
     return Batch(columns)
 

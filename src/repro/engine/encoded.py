@@ -1,0 +1,223 @@
+"""Dictionary-coded (late-materialization) column representation.
+
+The columnstore already stores string columns as integer codes into a
+sorted per-segment dictionary, but the scan boundary used to throw that
+away: every segment was decoded into a numpy *object* array, so filters,
+group-bys and joins over strings degraded to per-element Python loops.
+:class:`EncodedColumn` keeps the codes: an ``int32`` code array plus a
+reference to the shared :class:`~repro.storage.compression.Dictionary`.
+
+Batch-mode consumers operate directly on the codes:
+
+* comparisons / BETWEEN / IN translate their literals to code space once
+  per segment dictionary (the dictionary is sorted, so value order and
+  code order coincide) and evaluate vectorized on ``int32``;
+* hash aggregation groups on codes and materializes the group-key
+  strings only for the emitted groups;
+* hash joins translate the probe-side dictionary to build-side matches
+  once per segment, probing by code instead of hashing strings per row.
+
+Strings materialize lazily — :meth:`EncodedColumn.materialize` — only
+for rows that survive filtering, at mode boundaries (``batch_to_rows``)
+or in operators without a code path. An ``EncodedColumn`` reports
+``dtype == object`` and supports iteration/indexing over the decoded
+values, so any consumer without a specialized code path transparently
+falls back to decoded semantics (and the fallback is counted in
+``QueryMetrics.code_path_fallbacks``).
+
+The encoded path changes *real* wall-clock execution speed only; every
+modeled cost charge (the paper's figure metrics) is identical with the
+path on or off, which is asserted by the differential test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.storage.compression import Dictionary
+
+#: Process-wide default for whether columnstore scans produce
+#: :class:`EncodedColumn` values for dictionary-coded segments. On by
+#: default; the differential tests and the wall-clock benchmark flip it
+#: to compare against the decoded path.
+_ENCODED_EXECUTION = True
+
+#: Dtype used for code arrays carried in batches.
+CODE_DTYPE = np.int32
+
+
+def encoded_execution_enabled() -> bool:
+    """Whether scans produce encoded columns by default."""
+    return _ENCODED_EXECUTION
+
+
+def set_encoded_execution(enabled: bool) -> bool:
+    """Set the process-wide encoded-execution default; returns the
+    previous value (so tests/benchmarks can restore it)."""
+    global _ENCODED_EXECUTION
+    previous = _ENCODED_EXECUTION
+    _ENCODED_EXECUTION = bool(enabled)
+    return previous
+
+
+class EncodedColumn:
+    """A dictionary-coded column: ``int32`` codes + a shared dictionary.
+
+    The dictionary's values are sorted (NULL first when present), so the
+    code order equals the value order — the property every code-space
+    predicate translation relies on. Instances are immutable by
+    convention (like batch arrays): filtering produces a new
+    ``EncodedColumn`` sharing the same dictionary.
+    """
+
+    __slots__ = ("codes", "dictionary", "_materialized")
+
+    #: Encoded columns advertise object dtype: consumers that branch on
+    #: ``arr.dtype == object`` treat them exactly like decoded string
+    #: arrays, which is what makes the decoded fallback transparent.
+    dtype = np.dtype(object)
+
+    def __init__(self, codes: np.ndarray, dictionary: Dictionary):
+        if codes.dtype != CODE_DTYPE:
+            codes = codes.astype(CODE_DTYPE)
+        self.codes = codes
+        self.dictionary = dictionary
+        self._materialized: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def __getitem__(self, item):
+        """Int index -> decoded value; mask/indices/slice -> a new
+        ``EncodedColumn`` over the selected codes (laziness survives
+        filtering, which is the point of late materialization)."""
+        if isinstance(item, (int, np.integer)):
+            return self.dictionary.values[self.codes[item]]
+        return EncodedColumn(self.codes[item], self.dictionary)
+
+    def __iter__(self):
+        return iter(self.materialize())
+
+    @property
+    def nbytes(self) -> int:
+        """Physical in-memory size of the code array."""
+        return int(self.codes.nbytes)
+
+    def materialize(self) -> np.ndarray:
+        """Decode into a numpy object array (cached on this instance)."""
+        if self._materialized is None:
+            self._materialized = self.dictionary.decode(self.codes)
+        return self._materialized
+
+    # numpy-compatibility shims used by generic batch plumbing ----------
+    def astype(self, dtype) -> np.ndarray:
+        """Materialize and cast — used by concat fallbacks."""
+        return self.materialize().astype(dtype)
+
+    def tolist(self):
+        """Decoded values as a Python list."""
+        return list(self.materialize())
+
+    def __repr__(self) -> str:
+        return (f"EncodedColumn(n={len(self.codes)}, "
+                f"dict={len(self.dictionary)})")
+
+
+def maybe_materialize(values):
+    """Return a plain array for ``values``, decoding if encoded."""
+    if isinstance(values, EncodedColumn):
+        return values.materialize()
+    return values
+
+
+# --------------------------------------------------------- metric helpers
+def note_code_hit(ctx, n: int = 1) -> None:
+    """Count ``n`` operations that ran on codes without materializing."""
+    if ctx is not None:
+        ctx.metrics.code_path_hits += n
+
+
+def note_code_fallback(ctx, n: int = 1) -> None:
+    """Count ``n`` operations that had to materialize an encoded column."""
+    if ctx is not None:
+        ctx.metrics.code_path_fallbacks += n
+
+
+# --------------------------------------------- literal -> code translation
+def compare_codes(op: str, column: EncodedColumn, literal: object) -> np.ndarray:
+    """Vectorized ``column <op> literal`` evaluated purely on codes.
+
+    Matches the decoded path's SQL semantics exactly: any comparison
+    involving NULL (a NULL literal, or a NULL value in the column) is
+    not-true. The dictionary is sorted with NULL first, so non-null
+    codes form a contiguous, value-ordered range starting at
+    ``null_offset``; range predicates become code-range tests computed
+    with one ``searchsorted`` over the non-null dictionary slice.
+    """
+    codes = column.codes
+    dictionary = column.dictionary
+    null_offset = dictionary.null_offset
+    if literal is None:
+        return np.zeros(len(codes), dtype=bool)
+    if op == "=":
+        code = dictionary.code_of(literal)
+        if code is None or code < null_offset:
+            return np.zeros(len(codes), dtype=bool)
+        return codes == code
+    if op == "!=":
+        not_null = codes >= null_offset
+        code = dictionary.code_of(literal)
+        if code is None or code < null_offset:
+            return not_null
+        return not_null & (codes != code)
+    non_null_values = dictionary.values[null_offset:]
+    if op == "<":
+        boundary = null_offset + int(
+            np.searchsorted(non_null_values, literal, side="left"))
+        return (codes >= null_offset) & (codes < boundary)
+    if op == "<=":
+        boundary = null_offset + int(
+            np.searchsorted(non_null_values, literal, side="right"))
+        return (codes >= null_offset) & (codes < boundary)
+    if op == ">":
+        boundary = null_offset + int(
+            np.searchsorted(non_null_values, literal, side="right"))
+        return codes >= boundary
+    if op == ">=":
+        boundary = null_offset + int(
+            np.searchsorted(non_null_values, literal, side="left"))
+        return codes >= boundary
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def between_codes(column: EncodedColumn, low: object, high: object) -> np.ndarray:
+    """``low <= column <= high`` on codes (NULL bound -> empty mask)."""
+    if low is None or high is None:
+        return np.zeros(len(column.codes), dtype=bool)
+    return compare_codes(">=", column, low) & compare_codes("<=", column, high)
+
+
+def isin_codes(column: EncodedColumn, values: Sequence[object]) -> np.ndarray:
+    """``column IN values`` on codes.
+
+    Mirrors the decoded path's membership test verbatim — including its
+    treatment of an explicit NULL in the value list, which matches NULL
+    column values (``v in allowed`` on Python objects).
+    """
+    allowed = [code for code in (column.dictionary.code_of(v) for v in values)
+               if code is not None]
+    if not allowed:
+        return np.zeros(len(column.codes), dtype=bool)
+    return np.isin(column.codes, np.array(allowed, dtype=CODE_DTYPE))
+
+
+def concat_encoded(columns: Sequence[EncodedColumn]) -> Optional[EncodedColumn]:
+    """Concatenate encoded columns sharing one dictionary instance, or
+    None when the dictionaries differ (caller must materialize)."""
+    first = columns[0].dictionary
+    if any(col.dictionary is not first for col in columns[1:]):
+        return None
+    return EncodedColumn(
+        np.concatenate([col.codes for col in columns]), first)

@@ -25,6 +25,14 @@ import numpy as np
 
 from repro.core.errors import ExecutionError
 from repro.engine.batch import Batch
+from repro.engine.encoded import (
+    EncodedColumn,
+    between_codes,
+    compare_codes,
+    isin_codes,
+    note_code_fallback,
+    note_code_hit,
+)
 
 
 class Expr:
@@ -276,45 +284,89 @@ def compile_row_predicate(
 
 
 # -------------------------------------------------------------- batch mode
-def eval_batch(expr: Expr, batch: Batch) -> np.ndarray:
-    """Vectorized evaluation: returns a value array or boolean mask."""
+def eval_batch(expr: Expr, batch: Batch, ctx=None) -> np.ndarray:
+    """Vectorized evaluation: returns a value array or boolean mask.
+
+    ``ctx`` (an :class:`~repro.engine.metrics.ExecutionContext`, optional)
+    only receives code-path hit/fallback counters — evaluation itself is
+    identical with or without it.
+
+    Dictionary-coded columns evaluate on codes where possible: a
+    comparison/BETWEEN/IN between an encoded column and literals
+    translates the literals to code space once per segment dictionary
+    and runs vectorized over ``int32`` codes. Anything else materializes
+    the encoded operand and follows the decoded path (counted as a
+    fallback).
+    """
     if isinstance(expr, ColumnRef):
         return batch.column(expr.name)
     if isinstance(expr, Literal):
         return np.full(len(batch), expr.value)
     if isinstance(expr, Arithmetic):
-        left = eval_batch(expr.left, batch)
-        right = eval_batch(expr.right, batch)
+        left = _materialized(eval_batch(expr.left, batch, ctx), ctx)
+        right = _materialized(eval_batch(expr.right, batch, ctx), ctx)
         return _ARITH_OPS[expr.op](left, right)
     if isinstance(expr, Comparison):
-        left = eval_batch(expr.left, batch)
-        right = eval_batch(expr.right, batch)
+        if isinstance(expr.right, Literal):
+            subject = eval_batch(expr.left, batch, ctx)
+            if isinstance(subject, EncodedColumn):
+                note_code_hit(ctx)
+                return compare_codes(expr.op, subject, expr.right.value)
+            return _compare_arrays(expr.op, subject,
+                                   np.full(len(batch), expr.right.value))
+        if isinstance(expr.left, Literal):
+            subject = eval_batch(expr.right, batch, ctx)
+            if isinstance(subject, EncodedColumn):
+                note_code_hit(ctx)
+                return compare_codes(_FLIPPED[expr.op], subject,
+                                     expr.left.value)
+            return _compare_arrays(expr.op, np.full(len(batch), expr.left.value),
+                                   subject)
+        left = _materialized(eval_batch(expr.left, batch, ctx), ctx)
+        right = _materialized(eval_batch(expr.right, batch, ctx), ctx)
         return _compare_arrays(expr.op, left, right)
     if isinstance(expr, Between):
-        value = eval_batch(expr.subject, batch)
-        low = eval_batch(expr.low, batch)
-        high = eval_batch(expr.high, batch)
+        value = eval_batch(expr.subject, batch, ctx)
+        if (isinstance(value, EncodedColumn)
+                and isinstance(expr.low, Literal)
+                and isinstance(expr.high, Literal)):
+            note_code_hit(ctx)
+            return between_codes(value, expr.low.value, expr.high.value)
+        value = _materialized(value, ctx)
+        low = _materialized(eval_batch(expr.low, batch, ctx), ctx)
+        high = _materialized(eval_batch(expr.high, batch, ctx), ctx)
         return _compare_arrays("<=", low, value) & _compare_arrays("<=", value, high)
     if isinstance(expr, InList):
-        value = eval_batch(expr.subject, batch)
+        value = eval_batch(expr.subject, batch, ctx)
+        if isinstance(value, EncodedColumn):
+            note_code_hit(ctx)
+            return isin_codes(value, expr.values)
         if value.dtype == object:
             allowed = set(expr.values)
             return np.fromiter((v in allowed for v in value), dtype=bool,
                                count=len(value))
         return np.isin(value, np.array(list(expr.values)))
     if isinstance(expr, And):
-        mask = eval_batch(expr.operands[0], batch)
+        mask = eval_batch(expr.operands[0], batch, ctx)
         for op in expr.operands[1:]:
-            mask = mask & eval_batch(op, batch)
+            mask = mask & eval_batch(op, batch, ctx)
         return mask
     if isinstance(expr, Or):
-        mask = eval_batch(expr.operands[0], batch)
+        mask = eval_batch(expr.operands[0], batch, ctx)
         for op in expr.operands[1:]:
-            mask = mask | eval_batch(op, batch)
+            mask = mask | eval_batch(op, batch, ctx)
         return mask
     if isinstance(expr, Not):
-        return ~eval_batch(expr.operand, batch)
+        return ~eval_batch(expr.operand, batch, ctx)
     raise ExecutionError(f"cannot evaluate {type(expr).__name__} in batch mode")
+
+
+def _materialized(values, ctx):
+    """Decode an encoded operand for a path without code support."""
+    if isinstance(values, EncodedColumn):
+        note_code_fallback(ctx)
+        return values.materialize()
+    return values
 
 
 def _compare_arrays(op: str, left: np.ndarray, right: np.ndarray) -> np.ndarray:

@@ -47,6 +47,13 @@ class QueryMetrics:
     segment_cache_hits: int = 0
     segment_cache_misses: int = 0
     segment_cache_evictions: int = 0
+    #: Dictionary-coded (late materialization) execution: columns a
+    #: columnstore scan served as codes instead of decoded values, and
+    #: operator evaluations that ran on codes vs ones that had to
+    #: materialize an encoded column (see :mod:`repro.engine.encoded`).
+    columns_late_materialized: int = 0
+    code_path_hits: int = 0
+    code_path_fallbacks: int = 0
     #: Robustness counters: storage faults injected by an armed
     #: :class:`~repro.storage.faults.FaultInjector` during this statement,
     #: and multi-index DML operations that were rolled back via
@@ -77,6 +84,9 @@ class QueryMetrics:
         self.segment_cache_hits += other.segment_cache_hits
         self.segment_cache_misses += other.segment_cache_misses
         self.segment_cache_evictions += other.segment_cache_evictions
+        self.columns_late_materialized += other.columns_late_materialized
+        self.code_path_hits += other.code_path_hits
+        self.code_path_fallbacks += other.code_path_fallbacks
         self.faults_injected += other.faults_injected
         self.rollbacks += other.rollbacks
 

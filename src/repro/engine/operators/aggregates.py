@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.core.errors import ExecutionError
 from repro.engine.batch import Batch, rows_to_batch
+from repro.engine.encoded import EncodedColumn, note_code_hit
 from repro.engine.expressions import Expr, eval_batch
 from repro.engine.metrics import ExecutionContext
 from repro.engine.operators.base import BATCH_MODE, PhysicalOperator
@@ -113,9 +114,11 @@ class _AggregateBase(PhysicalOperator):
             if state.maxs[i] is None or hi > state.maxs[i]:
                 state.maxs[i] = hi
 
-    def _arg_arrays(self, batch: Batch) -> List[Optional[np.ndarray]]:
+    def _arg_arrays(self, batch: Batch,
+                    ctx: Optional[ExecutionContext] = None
+                    ) -> List[Optional[np.ndarray]]:
         return [
-            eval_batch(spec.expr, batch) if spec.expr is not None else None
+            eval_batch(spec.expr, batch, ctx) if spec.expr is not None else None
             for spec in self.aggregates
         ]
 
@@ -169,8 +172,8 @@ class HashAggregate(_AggregateBase):
                 ctx.charge_spill(batch.payload_bytes())
             ctx.charge_parallel_cpu(hash_cost, self.dop)
 
-            arg_values = self._arg_arrays(batch)
-            for key, indices in _group_indices(batch, self.group_by).items():
+            arg_values = self._arg_arrays(batch, ctx)
+            for key, indices in _group_indices(batch, self.group_by, ctx).items():
                 state = groups.get(key)
                 if state is None:
                     state = _GroupState(n_aggs)
@@ -223,9 +226,9 @@ class StreamAggregate(_AggregateBase):
         for batch in self.child().execute(ctx):
             ctx.charge_parallel_cpu(
                 len(batch) * cm.stream_agg_cpu_ms_per_row, self.dop)
-            arg_values = self._arg_arrays(batch)
+            arg_values = self._arg_arrays(batch, ctx)
             # Group keys arrive in sorted runs: split the batch into runs.
-            for key, indices in _ordered_group_runs(batch, self.group_by):
+            for key, indices in _ordered_group_runs(batch, self.group_by, ctx):
                 if key != current_key:
                     if state is not None:
                         out_rows.append(self._finalize_row(current_key, state))
@@ -252,12 +255,13 @@ class StreamAggregate(_AggregateBase):
                 f"[{self.mode}, dop={self.dop}]")
 
 
-def _group_indices(batch: Batch, group_by: Sequence[str]
+def _group_indices(batch: Batch, group_by: Sequence[str],
+                   ctx: Optional[ExecutionContext] = None
                    ) -> Dict[Tuple[object, ...], np.ndarray]:
     """Map each distinct key tuple to the row indices holding it."""
     if not group_by:
         return {(): np.arange(len(batch))}
-    codes, uniques = _factorize(batch, group_by)
+    codes, uniques = _factorize(batch, group_by, ctx)
     order = np.argsort(codes, kind="stable")
     sorted_codes = codes[order]
     boundaries = np.flatnonzero(np.diff(sorted_codes)) + 1
@@ -268,12 +272,13 @@ def _group_indices(batch: Batch, group_by: Sequence[str]
     return out
 
 
-def _ordered_group_runs(batch: Batch, group_by: Sequence[str]):
+def _ordered_group_runs(batch: Batch, group_by: Sequence[str],
+                        ctx: Optional[ExecutionContext] = None):
     """Yield (key, indices) runs in batch order (input already sorted)."""
     if not group_by:
         yield (), np.arange(len(batch))
         return
-    codes, uniques = _factorize(batch, group_by)
+    codes, uniques = _factorize(batch, group_by, ctx)
     n = len(codes)
     change = np.empty(n, dtype=bool)
     change[0] = True
@@ -284,17 +289,27 @@ def _ordered_group_runs(batch: Batch, group_by: Sequence[str]):
         yield uniques[int(codes[start])], np.arange(start, end)
 
 
-def _factorize(batch: Batch, group_by: Sequence[str]
+def _factorize(batch: Batch, group_by: Sequence[str],
+               ctx: Optional[ExecutionContext] = None
                ) -> Tuple[np.ndarray, List[Tuple[object, ...]]]:
     """Encode each row's group key as an integer code.
 
     Returns (codes per row, unique key tuples indexed by code).
+
+    Dictionary-coded columns contribute their codes directly: the
+    dictionary is sorted NULL-first, matching the rank order the decoded
+    path assigns, so downstream grouping behaves identically while the
+    key strings materialize only for the groups actually emitted.
     """
     per_column_codes = []
     per_column_values = []
     for name in group_by:
         values = batch.column(name)
-        if values.dtype == object:
+        if isinstance(values, EncodedColumn):
+            note_code_hit(ctx)
+            codes = values.codes.astype(np.int64)
+            decoded = values.dictionary.values.tolist()
+        elif values.dtype == object:
             keyed = [(v is not None, v) for v in values]
             uniques = sorted(set(keyed))
             lookup = {k: i for i, k in enumerate(uniques)}

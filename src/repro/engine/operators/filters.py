@@ -37,7 +37,7 @@ class Filter(PhysicalOperator):
         """Run the operator, yielding result batches."""
         for batch in self.child().execute(ctx):
             self.charge_rows(ctx, len(batch))
-            mask = eval_batch(self.predicate, batch)
+            mask = eval_batch(self.predicate, batch, ctx)
             filtered = batch.filter(mask)
             if len(filtered) > 0:
                 yield filtered
@@ -69,7 +69,7 @@ class Project(PhysicalOperator):
             self.charge_rows(ctx, len(batch))
             columns = {}
             for name, expr in self.outputs:
-                values = eval_batch(expr, batch)
+                values = eval_batch(expr, batch, ctx)
                 if np.isscalar(values) or getattr(values, "ndim", 1) == 0:
                     values = np.full(len(batch), values)
                 columns[name] = values

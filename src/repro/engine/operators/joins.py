@@ -14,6 +14,11 @@ import numpy as np
 
 from repro.core.errors import ExecutionError
 from repro.engine.batch import Batch, batch_to_rows, rows_to_batch
+from repro.engine.encoded import (
+    EncodedColumn,
+    note_code_fallback,
+    note_code_hit,
+)
 from repro.engine.expressions import ColumnRange, Expr, compile_row_predicate
 from repro.engine.metrics import ExecutionContext
 from repro.engine.operators.base import BATCH_MODE, PhysicalOperator, ROW_MODE
@@ -95,6 +100,27 @@ class HashJoin(PhysicalOperator):
                 probe_cost *= cm.spill_cpu_multiplier
                 ctx.charge_spill(batch.payload_bytes())
             ctx.charge_parallel_cpu(probe_cost, self.dop)
+            code_matches = self._translate_probe_dictionary(batch, table, ctx)
+            if code_matches is not None:
+                match_lists, codes = code_matches
+                keep = np.flatnonzero(
+                    np.fromiter((match_lists[c] is not None for c in codes),
+                                dtype=bool, count=len(codes)))
+                if len(keep) == 0:
+                    continue
+                # Late materialization: only rows with a build match pivot
+                # into tuples; the key strings themselves never re-hash.
+                surviving = batch.take(keep)
+                for i, row in zip(keep.tolist(),
+                                  batch_to_rows(surviving, probe_cols)):
+                    for build_row in match_lists[codes[i]]:
+                        pending.append(build_row + row)
+                    if len(pending) >= 4096:
+                        result = rows_to_batch(pending, out_names)
+                        if result is not None:
+                            yield result
+                        pending = []
+                continue
             for row in batch_to_rows(batch, probe_cols):
                 matches = table.get(probe_key(row))
                 if not matches:
@@ -111,6 +137,30 @@ class HashJoin(PhysicalOperator):
         result = rows_to_batch(pending, out_names)
         if result is not None:
             yield result
+
+    def _translate_probe_dictionary(self, batch: Batch, table, ctx):
+        """Code-space probe for a dictionary-coded single join key.
+
+        Translates the probe batch's dictionary to build-side match
+        lists once (at most ``|dictionary|`` hash lookups — covering the
+        shared-dictionary case for free, since the translation is pure
+        array indexing either way), then probes by code: no per-row
+        string hashing and no materialization of non-matching rows.
+        Returns (match list per code, per-row codes), or None when the
+        key is not a single encoded column (decoded fallback).
+        """
+        if len(self.probe_keys) != 1:
+            if any(isinstance(batch.columns.get(k), EncodedColumn)
+                   for k in self.probe_keys):
+                note_code_fallback(ctx)
+            return None
+        column = batch.columns.get(self.probe_keys[0])
+        if not isinstance(column, EncodedColumn):
+            return None
+        note_code_hit(ctx)
+        match_lists = [table.get(value)
+                       for value in column.dictionary.values.tolist()]
+        return match_lists, column.codes
 
     def describe(self) -> str:
         """One-line human-readable summary of this node."""

@@ -344,7 +344,7 @@ class ColumnstoreScan(_ScanBase):
                 renamed[RID_COLUMN] = raw.column(RID_COLUMN)
             batch = Batch(renamed)
             if self.residual is not None:
-                mask = eval_batch(self.residual, batch)
+                mask = eval_batch(self.residual, batch, ctx)
                 batch = batch.filter(mask)
             if len(batch) > 0:
                 wanted = self.output_columns
@@ -386,10 +386,11 @@ class RidLookup(PhysicalOperator):
         new_names = _qualify(self.prefix, self.columns)
         for batch in self.child().execute(ctx):
             rids = batch.column(RID_COLUMN)
-            fetched_rows = [
-                self.table.fetch_columns(int(rid), self._ordinals, ctx)
-                for rid in rids
-            ]
+            # One batched fetch per input batch (one charge call instead
+            # of one per rid) — bookmark-lookup plans stop paying Python
+            # call overhead per row.
+            fetched_rows = self.table.fetch_columns_batch(
+                rids.tolist(), self._ordinals, ctx)
             self.charge_rows(ctx, len(batch))
             columns = dict(batch.columns)
             extra = rows_to_batch(fetched_rows, new_names)

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.errors import StorageError
 from repro.core.schema import TableSchema
 from repro.engine.batch import Batch, _column_array
+from repro.engine.encoded import EncodedColumn, encoded_execution_enabled
 from repro.engine.metrics import ExecutionContext
 from repro.storage.compression import CompressedRowGroup, compress_rowgroup
 from repro.storage.faults import FaultInjector, trip
@@ -658,6 +659,7 @@ class ColumnstoreIndex:
                 continue
             if ctx is not None:
                 ctx.metrics.segments_read += 1
+            use_encoded = encoded_execution_enabled()
             data = {}
             miss_bytes = 0
             misses = 0
@@ -668,7 +670,17 @@ class ColumnstoreIndex:
                     decoded = cache.get((self.object_id, group_index, name))
                 if decoded is None:
                     segment = group.column(name)
-                    decoded = segment.decode()
+                    if use_encoded and segment.dictionary is not None:
+                        # Late materialization: hand the consumer the
+                        # int32 codes plus the shared dictionary instead
+                        # of decoding every string now. Modeled costs
+                        # (segment read + decode CPU below) are charged
+                        # exactly as for the decoded path — only real
+                        # wall-clock changes.
+                        decoded = EncodedColumn(
+                            segment.codes_array(), segment.dictionary)
+                    else:
+                        decoded = segment.decode()
                     miss_bytes += segment.size_bytes
                     misses += 1
                     if cache is not None:
@@ -679,6 +691,12 @@ class ColumnstoreIndex:
                             ctx.metrics.segment_cache_evictions += evicted
                 else:
                     hits += 1
+                    if isinstance(decoded, EncodedColumn) and not use_encoded:
+                        # Cached as codes while encoded execution is now
+                        # off: serve the decoded twin.
+                        decoded = decoded.materialize()
+                if isinstance(decoded, EncodedColumn) and ctx is not None:
+                    ctx.metrics.columns_late_materialized += 1
                 data[name] = decoded
             if ctx is not None:
                 if misses:

@@ -77,12 +77,38 @@ def count_runs(values: np.ndarray) -> int:
 
 @dataclass
 class Dictionary:
-    """Value dictionary for a string (or other non-numeric) column."""
+    """Value dictionary for a string (or other non-numeric) column.
 
-    values: np.ndarray  # sorted unique values
+    ``values`` is sorted ascending with NULL (``None``) first when the
+    column contains one, so dictionary *code order equals value order* —
+    the invariant the encoded execution path relies on to translate
+    range predicates into code-range tests.
+    """
+
+    values: np.ndarray  # sorted unique values (NULL first when present)
+
+    def __post_init__(self):
+        self._code_map = None  # value -> code, built lazily
 
     def __len__(self) -> int:
         return len(self.values)
+
+    @property
+    def null_offset(self) -> int:
+        """Number of leading NULL slots (0 or 1): non-null values occupy
+        the contiguous, value-ordered code range ``[null_offset, len)``."""
+        return 1 if len(self.values) and self.values[0] is None else 0
+
+    def _lookup(self) -> Dict[object, int]:
+        if self._code_map is None:
+            self._code_map = {
+                value: code for code, value in enumerate(self.values.tolist())
+            }
+        return self._code_map
+
+    def code_of(self, value: object) -> Optional[int]:
+        """Exact-match code for ``value``; None when absent."""
+        return self._lookup().get(value)
 
     def size_bytes(self) -> int:
         """Approximate on-disk size in bytes."""
@@ -93,9 +119,10 @@ class Dictionary:
         return int(len(self.values) * self.values.dtype.itemsize)
 
     def encode(self, raw: np.ndarray) -> np.ndarray:
-        """Map raw values to dictionary codes."""
-        codes = np.searchsorted(self.values, raw)
-        return codes.astype(np.int64)
+        """Map raw values to dictionary codes (exact lookup, NULL-safe)."""
+        lookup = self._lookup()
+        return np.fromiter((lookup[v] for v in raw.tolist()),
+                           dtype=np.int64, count=len(raw))
 
     def decode(self, codes: np.ndarray) -> np.ndarray:
         """Materialize the segment as a flat value array."""
@@ -103,7 +130,17 @@ class Dictionary:
 
     @classmethod
     def build(cls, raw: np.ndarray) -> "Dictionary":
-        """Construct and populate the demo database."""
+        """Build the sorted dictionary for ``raw``, NULLs first."""
+        if raw.dtype == object:
+            uniques = set(raw.tolist())
+            has_null = None in uniques
+            ordered: List[object] = sorted(
+                v for v in uniques if v is not None)
+            if has_null:
+                ordered = [None] + ordered
+            values = np.empty(len(ordered), dtype=object)
+            values[:] = ordered
+            return cls(values=values)
         return cls(values=np.unique(raw))
 
 
@@ -136,6 +173,17 @@ class ColumnSegment:
             return self.dictionary.decode(decoded)
         return decoded
 
+    def codes_array(self) -> np.ndarray:
+        """The segment's dictionary codes in stored order, *without*
+        materializing values — the input to encoded execution. Only
+        valid for segments that carry a dictionary."""
+        assert self.dictionary is not None
+        if self.encoding == ENCODING_RLE:
+            assert self.run_values is not None and self.run_lengths is not None
+            return np.repeat(self.run_values, self.run_lengths)
+        assert self.values is not None
+        return self.values
+
     def overlaps(self, low: object, high: object) -> bool:
         """Min/max check used for segment elimination: can any value in
         [low, high] exist in this segment? ``None`` bounds are open."""
@@ -152,9 +200,10 @@ def _segment_min_max(values: np.ndarray) -> Tuple[object, object]:
     if len(values) == 0:
         return None, None
     if values.dtype == object:
-        lo = min(values)
-        hi = max(values)
-        return lo, hi
+        non_null = [v for v in values if v is not None]
+        if not non_null:
+            return None, None  # all-NULL segment: no skipping metadata
+        return min(non_null), max(non_null)
     return values.min().item(), values.max().item()
 
 
@@ -229,7 +278,9 @@ def choose_sort_order(columns: Dict[str, np.ndarray]) -> List[str]:
     sorted — as the greedy criterion, smallest first.
     """
     distinct_counts = {
-        name: len(np.unique(values)) for name, values in columns.items()
+        name: (len(set(values.tolist())) if values.dtype == object
+               else len(np.unique(values)))
+        for name, values in columns.items()
     }
     return sorted(distinct_counts, key=lambda name: (distinct_counts[name], name))
 
@@ -308,9 +359,8 @@ def compress_rowgroup(
 
 def _sortable(values: np.ndarray) -> np.ndarray:
     """np.lexsort cannot sort object arrays of strings directly on some
-    dtypes; map them through their sorted-unique codes."""
+    dtypes; map them through their sorted-unique codes (NULLs first, the
+    same order :meth:`Dictionary.build` assigns)."""
     if values.dtype != object:
         return values
-    uniques, codes = np.unique(values, return_inverse=True)
-    del uniques
-    return codes
+    return Dictionary.build(values).encode(values)

@@ -21,6 +21,18 @@ Cached arrays are shared between the cache and every consumer; batch-mode
 operators treat batch columns as immutable (filters and projections copy),
 which is what makes the sharing safe.
 
+With encoded execution on (the default,
+:mod:`repro.engine.encoded`), dictionary-bearing segments are cached as
+:class:`~repro.engine.encoded.EncodedColumn` objects — int32 codes plus
+the shared dictionary — instead of decoded object arrays. The entry
+*represents* the same decoded segment, so budget accounting is unchanged:
+``EncodedColumn`` reports ``dtype == object`` and the same length, and
+:func:`_array_bytes` therefore charges the same 24 bytes/element it
+charges a decoded string array. Hit/miss/eviction behaviour — and every
+figure that reports it — is byte-identical either way. If encoded
+execution is toggled off after codes were cached, the scan materializes
+the cached entry on the way out (see ``ColumnstoreIndex.scan``).
+
 One cache is owned per :class:`~repro.storage.database.Database` and is
 **disabled by default** so that cold-run experiments and the paper's
 figure benchmarks are unaffected unless a caller opts in

@@ -457,3 +457,17 @@ class Table:
             ctx.charge_serial_cpu(ctx.cost_model.seek_cpu_ms)
         row = self.get_row(rid)
         return tuple(row[i] for i in ordinals)
+
+    def fetch_columns_batch(self, rids: Sequence[int],
+                            ordinals: Sequence[int],
+                            ctx: Optional[ExecutionContext] = None,
+                            ) -> List[Row]:
+        """Batched bookmark lookup: same modeled cost as ``len(rids)``
+        single fetches (each rid is still one cold random read), charged
+        in one call per batch instead of one per rid."""
+        if ctx is not None and rids:
+            ctx.charge_random_read(len(rids))
+            ctx.charge_serial_cpu(len(rids) * ctx.cost_model.seek_cpu_ms)
+        get_row = self.get_row
+        return [tuple(row[i] for i in ordinals)
+                for row in map(get_row, rids)]

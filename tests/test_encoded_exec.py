@@ -1,0 +1,306 @@
+"""Differential tests for dictionary-coded (late materialization)
+execution: every query must return identical rows AND identical modeled
+metrics with the encoded path on and off — the encoded path changes real
+wall-clock only. Also unit-tests the code-space primitives."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.encoded import (
+    EncodedColumn,
+    compare_codes,
+    concat_encoded,
+    encoded_execution_enabled,
+    isin_codes,
+    set_encoded_execution,
+)
+from repro.engine.executor import Executor
+from repro.storage.compression import (
+    Dictionary,
+    ENCODING_RLE,
+    compress_rowgroup,
+)
+from repro.storage.database import Database
+
+# Counters expected to differ between the two modes by design.
+_MODE_COUNTERS = (
+    "columns_late_materialized", "code_path_hits", "code_path_fallbacks")
+
+
+def schema():
+    return TableSchema("t", [
+        Column("id", INT, nullable=False),
+        Column("city", varchar(16)),       # dict-coded strings, with NULLs
+        Column("region", varchar(8)),      # long runs -> RLE + dictionary
+        Column("qty", INT),
+    ])
+
+
+CITIES = ["athens", "berlin", "cairo", None, "delhi", "evora"]
+REGIONS = ["north", "south"]
+
+
+def rows(n=4000):
+    return [
+        (i, CITIES[i % len(CITIES)], REGIONS[(i * 2) // n], i % 50)
+        for i in range(n)
+    ]
+
+
+def make_db(n=4000, cache=False):
+    db = Database(segment_cache_enabled=True) if cache else Database()
+    table = db.create_table(schema())
+    table.bulk_load(rows(n))
+    table.set_primary_columnstore(rowgroup_size=1024)
+    return db
+
+
+def make_join_db():
+    db = make_db()
+    dim = db.create_table(TableSchema("d", [
+        Column("name", varchar(16)),
+        Column("pop", INT, nullable=False),
+    ]))
+    dim.bulk_load([("athens", 1), ("cairo", 3), ("delhi", 4), ("zzz", 9)])
+    return db
+
+
+def run_query(db_factory, sql, enabled):
+    prev = set_encoded_execution(enabled)
+    try:
+        return Executor(db_factory()).execute(sql)
+    finally:
+        set_encoded_execution(prev)
+
+
+def metrics_dict(result):
+    d = dataclasses.asdict(result.metrics)
+    for name in _MODE_COUNTERS:
+        d.pop(name)
+    return d
+
+
+def assert_differential(sql, db_factory=make_db):
+    """Encoded and decoded runs agree on rows and modeled metrics."""
+    off = run_query(db_factory, sql, enabled=False)
+    on = run_query(db_factory, sql, enabled=True)
+    assert on.rows == off.rows
+    assert on.columns == off.columns
+    assert metrics_dict(on) == metrics_dict(off)
+    assert off.metrics.code_path_hits == 0
+    assert off.metrics.columns_late_materialized == 0
+    return on, off
+
+
+class TestEncodedColumnUnit:
+    def make(self):
+        dictionary = Dictionary.build(
+            np.array([None, "a", "b", "a", "c"], dtype=object))
+        codes = dictionary.encode(
+            np.array(["a", "b", None, "c", "a"], dtype=object))
+        return EncodedColumn(codes, dictionary)
+
+    def test_dtype_reports_object(self):
+        assert self.make().dtype == np.dtype(object)
+
+    def test_materialize_roundtrip(self):
+        col = self.make()
+        assert col.materialize().tolist() == ["a", "b", None, "c", "a"]
+        assert list(col) == ["a", "b", None, "c", "a"]
+        assert col[2] is None and col[3] == "c"
+
+    def test_mask_and_slice_stay_encoded(self):
+        col = self.make()
+        masked = col[np.array([True, False, True, False, True])]
+        assert isinstance(masked, EncodedColumn)
+        assert masked.materialize().tolist() == ["a", None, "a"]
+        assert isinstance(col[1:3], EncodedColumn)
+
+    def test_null_sorts_first_in_dictionary(self):
+        col = self.make()
+        assert col.dictionary.values[0] is None
+        assert col.dictionary.null_offset == 1
+
+    def test_concat_same_dictionary(self):
+        col = self.make()
+        joined = concat_encoded([col, col[:2]])
+        assert isinstance(joined, EncodedColumn)
+        assert joined.materialize().tolist() == [
+            "a", "b", None, "c", "a", "a", "b"]
+
+    def test_concat_different_dictionaries_returns_none(self):
+        other = EncodedColumn(
+            np.array([0]), Dictionary.build(np.array(["x"], dtype=object)))
+        assert concat_encoded([self.make(), other]) is None
+
+    def test_flag_roundtrip(self):
+        prev = set_encoded_execution(False)
+        try:
+            assert not encoded_execution_enabled()
+        finally:
+            set_encoded_execution(prev)
+        assert encoded_execution_enabled() == prev
+
+
+class TestCodeTranslation:
+    """compare_codes/isin_codes agree with decoded comparison semantics
+    (NULL is never true) for every operator and literal position."""
+
+    def make(self):
+        data = np.array(
+            ["b", None, "a", "c", "b", None, "d"], dtype=object)
+        dictionary = Dictionary.build(data)
+        return EncodedColumn(dictionary.encode(data), dictionary), data
+
+    def decoded_mask(self, data, op, literal):
+        def check(v):
+            if v is None or literal is None:
+                return False
+            return {"=": v == literal, "!=": v != literal,
+                    "<": v < literal, "<=": v <= literal,
+                    ">": v > literal, ">=": v >= literal}[op]
+        return np.array([check(v) for v in data])
+
+    @pytest.mark.parametrize("op", ["=", "!=", "<", "<=", ">", ">="])
+    @pytest.mark.parametrize("literal", ["a", "b", "bb", "z", "", None])
+    def test_all_ops_and_literals(self, op, literal):
+        col, data = self.make()
+        got = compare_codes(op, col, literal)
+        np.testing.assert_array_equal(
+            got, self.decoded_mask(data, op, literal))
+
+    def test_isin_matches_decoded_membership(self):
+        col, data = self.make()
+        for allowed in (["a", "d"], ["zz"], [], ["b", None]):
+            expected = np.array([v in allowed for v in data])
+            np.testing.assert_array_equal(isin_codes(col, allowed), expected)
+
+
+class TestDifferentialQueries:
+    def test_equality_filter(self):
+        on, _ = assert_differential(
+            "SELECT id FROM t WHERE city = 'berlin' ORDER BY id")
+        assert on.metrics.code_path_hits > 0
+
+    def test_inequality_filter(self):
+        assert_differential(
+            "SELECT count(*) FROM t WHERE city != 'cairo'")
+
+    def test_range_filter(self):
+        assert_differential(
+            "SELECT count(*) FROM t WHERE city >= 'berlin' AND city < 'dz'")
+
+    def test_absent_literal(self):
+        on, _ = assert_differential(
+            "SELECT count(*) FROM t WHERE city = 'nowhere'")
+        assert on.rows in ([], [(0,)])
+
+    def test_in_list(self):
+        assert_differential(
+            "SELECT count(*) FROM t WHERE city IN ('athens', 'delhi', 'x')")
+
+    def test_group_by_string_with_nulls(self):
+        on, _ = assert_differential(
+            "SELECT city, count(*) c, sum(qty) q FROM t "
+            "GROUP BY city ORDER BY c, city")
+        assert on.metrics.code_path_hits > 0
+
+    def test_group_by_rle_column(self):
+        assert_differential(
+            "SELECT region, count(*) c FROM t GROUP BY region ORDER BY region")
+
+    def test_order_by_string(self):
+        assert_differential(
+            "SELECT city, id FROM t WHERE qty = 7 ORDER BY city, id")
+
+    def test_join_on_dict_column(self):
+        on, _ = assert_differential(
+            "SELECT d.name, count(*) c FROM t "
+            "JOIN d ON t.city = d.name GROUP BY d.name ORDER BY d.name",
+            db_factory=make_join_db)
+        assert on.metrics.code_path_hits > 0
+
+    def test_arithmetic_falls_back(self):
+        # String concatenation is not translated; the encoded run counts
+        # a fallback but still matches the decoded run exactly.
+        on, _ = assert_differential(
+            "SELECT count(*) FROM t WHERE city < region")
+        assert on.metrics.code_path_fallbacks > 0
+
+    def test_delta_store_rows_mix_with_encoded_groups(self):
+        def factory():
+            db = make_db(n=2000)
+            Executor(db).execute(
+                "INSERT INTO t (id, city, region, qty) "
+                "VALUES (9001, 'berlin', 'north', 7), "
+                "(9002, 'fargo', 'south', 7), (9003, NULL, 'north', 7)")
+            return db
+        on, _ = assert_differential(
+            "SELECT city, count(*) c FROM t WHERE qty = 7 "
+            "GROUP BY city ORDER BY c, city", db_factory=factory)
+        assert on.metrics.code_path_hits > 0
+
+
+class TestEncodedWithSegmentCache:
+    def test_toggle_after_cache_populated(self):
+        """Codes cached while encoding is on must decode correctly after
+        the flag is turned off (same warm database)."""
+        sql = "SELECT city, count(*) c FROM t GROUP BY city ORDER BY c, city"
+        db = make_db(cache=True)
+        executor = Executor(db)
+        prev = set_encoded_execution(True)
+        try:
+            warm = executor.execute(sql)
+            assert warm.metrics.segment_cache_misses > 0
+            set_encoded_execution(False)
+            cold_path = executor.execute(sql)
+        finally:
+            set_encoded_execution(prev)
+        assert cold_path.rows == warm.rows
+        assert cold_path.metrics.segment_cache_hits > 0
+        assert cold_path.metrics.code_path_hits == 0
+
+    def test_cache_accounting_identical_across_modes(self):
+        sql = "SELECT count(*) FROM t WHERE city = 'athens'"
+        stats = {}
+        for enabled in (False, True):
+            prev = set_encoded_execution(enabled)
+            try:
+                db = make_db(cache=True)
+                executor = Executor(db)
+                executor.execute(sql)
+                executor.execute(sql)
+                cache = db.segment_cache
+                stats[enabled] = (cache.stats.hits, cache.stats.misses,
+                                  cache.stats.evictions, cache.bytes_cached,
+                                  len(cache))
+            finally:
+                set_encoded_execution(prev)
+        assert stats[True] == stats[False]
+
+
+class TestScanProducesEncodedColumns:
+    def test_rle_segment_served_as_codes(self):
+        data = rows(3000)
+        group = compress_rowgroup(
+            TableSchema("g", [Column("region", varchar(8))]),
+            {"region": np.array([r[2] for r in data], dtype=object)},
+            rids=np.arange(len(data)))
+        segment = group.segments["region"]
+        assert segment.encoding == ENCODING_RLE
+        assert segment.dictionary is not None
+        col = EncodedColumn(segment.codes_array(), segment.dictionary)
+        np.testing.assert_array_equal(col.materialize(), segment.decode())
+
+    def test_scan_counts_late_materialized_columns(self):
+        db = make_db(n=1000)
+        prev = set_encoded_execution(True)
+        try:
+            res = Executor(db).execute("SELECT city FROM t WHERE id < 10")
+        finally:
+            set_encoded_execution(prev)
+        assert res.metrics.columns_late_materialized > 0
