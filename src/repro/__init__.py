@@ -29,10 +29,12 @@ from repro.engine.concurrency import (
     SimulationResult,
     StatementProfile,
 )
+from repro.engine.analyze import AnalyzedQuery
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.engine.executor import Executor, QueryResult
 from repro.engine.locks import READ_COMMITTED, SERIALIZABLE, SNAPSHOT
-from repro.engine.metrics import ExecutionContext, QueryMetrics
+from repro.engine.metrics import ExecutionContext, OperatorSpan, QueryMetrics
+from repro.engine.query_store import QueryStore
 from repro.optimizer.catalog import Catalog
 from repro.optimizer.whatif import (
     Configuration,
@@ -53,9 +55,12 @@ from repro.storage.table import Table
 __version__ = "1.0.0"
 
 __all__ = [
+    "AnalyzedQuery",
     "BIGINT",
     "DATE",
     "INT",
+    "OperatorSpan",
+    "QueryStore",
     "XML",
     "Catalog",
     "CheckResult",

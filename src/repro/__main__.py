@@ -18,6 +18,11 @@ Commands
     the CHECKDB-style consistency checker over every index; with
     ``--faults`` every statement also survives an injected storage
     fault first (exit code 1 on any inconsistency).
+``analyze "<sql>" [--workload tpch|tpcds] [--design btree|csi] [--cold]``
+    EXPLAIN ANALYZE: run one statement against a generated workload
+    database and print the plan tree annotated with estimated vs actual
+    rows and per-operator elapsed/CPU/I-O/memory; ``--trace FILE``
+    additionally writes a Chrome trace-event JSON of the plan timeline.
 """
 
 from __future__ import annotations
@@ -279,6 +284,39 @@ def _cmd_check(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_analyze(args) -> int:
+    import json
+
+    from repro.bench.figure9 import give_all_tables_primary_btrees
+    from repro.engine.executor import Executor
+    from repro.storage.database import Database
+
+    database = Database(args.workload)
+    if args.workload == "tpch":
+        from repro.workloads.tpch import generate_tpch
+        generate_tpch(database, scale=args.scale)
+    else:
+        from repro.workloads.tpcds import generate_tpcds
+        generate_tpcds(database, scale=args.scale)
+    if args.design == "csi":
+        for table in database.tables():
+            table.set_primary_columnstore()
+    else:
+        give_all_tables_primary_btrees(database)
+
+    executor = Executor(database)
+    grant = args.grant_kb << 10 if args.grant_kb is not None else None
+    analyzed = executor.explain_analyze(args.sql, cold=args.cold,
+                                        memory_grant_bytes=grant)
+    print(analyzed.format())
+    if args.trace:
+        with open(args.trace, "w") as handle:
+            json.dump(analyzed.to_chrome_trace(), handle, indent=1)
+        print(f"\nchrome trace written to {args.trace} "
+              f"(open in chrome://tracing or ui.perfetto.dev)")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -317,6 +355,25 @@ def main(argv=None) -> int:
     check.add_argument("--faults", action="store_true",
                        help="inject a storage fault before each statement")
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="EXPLAIN ANALYZE one statement against a generated workload")
+    analyze.add_argument("sql", help="the statement to run and analyze")
+    analyze.add_argument("--workload", default="tpch",
+                         choices=("tpch", "tpcds"),
+                         help="which generated database to run against")
+    analyze.add_argument("--scale", type=float, default=0.1,
+                         help="workload scale factor")
+    analyze.add_argument("--design", default="btree",
+                         choices=("btree", "csi"),
+                         help="primary index design for every table")
+    analyze.add_argument("--cold", action="store_true",
+                         help="charge storage I/O (cold run)")
+    analyze.add_argument("--grant-kb", type=int, default=None,
+                         help="memory grant in KB (default: cost-model)")
+    analyze.add_argument("--trace", metavar="FILE", default=None,
+                         help="also write a Chrome trace-event JSON here")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -324,6 +381,7 @@ def main(argv=None) -> int:
         "tune": _cmd_tune,
         "inventory": _cmd_inventory,
         "check": _cmd_check,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

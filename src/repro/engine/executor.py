@@ -25,7 +25,7 @@ from repro.engine.expressions import (
     eval_row,
     extract_column_ranges,
 )
-from repro.engine.metrics import ExecutionContext, QueryMetrics
+from repro.engine.metrics import ExecutionContext, OperatorSpan, QueryMetrics
 from repro.optimizer.catalog import Catalog
 from repro.optimizer.cost_model import CostingOptions
 from repro.optimizer.materializer import Materializer
@@ -54,6 +54,9 @@ class QueryResult:
     metrics: QueryMetrics
     plan: Optional[PlannedQuery] = None
     rows_affected: int = 0
+    #: Root of the per-operator span tree recorded while executing (the
+    #: synthetic "<statement>" span; operator spans hang beneath it).
+    root_span: Optional[OperatorSpan] = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -121,11 +124,35 @@ class Executor:
             result = self._run_insert(bound, ctx)
         else:
             raise ExecutionError(f"cannot execute {type(bound).__name__}")
+        ctx.finalize_spans()
+        result.root_span = ctx.root_span
         if self.query_store is not None:
-            from repro.engine.query_store import plan_fingerprint
+            from repro.engine.query_store import (
+                node_stats_from_span,
+                plan_fingerprint,
+            )
             self.query_store.record(sql, result.metrics,
-                                    plan_fingerprint(result.plan))
+                                    plan_fingerprint(result.plan),
+                                    node_stats=node_stats_from_span(
+                                        ctx.root_span))
         return result
+
+    def explain_analyze(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        cold: bool = False,
+        memory_grant_bytes: Optional[int] = None,
+    ) -> "AnalyzedQuery":
+        """Execute ``sql`` and return the plan tree annotated with actual
+        per-operator statistics (rows, batches, elapsed/CPU, I/O, memory,
+        spills) next to the optimizer's estimates — the reproduction of
+        SQL Server's actual-execution-plan / DMV surface the paper's
+        methodology leans on (Sections 3.1, 5.2.1)."""
+        from repro.engine.analyze import AnalyzedQuery
+        result = self.execute(sql, params=params, cold=cold,
+                              memory_grant_bytes=memory_grant_bytes)
+        return AnalyzedQuery(sql=sql, result=result)
 
     def explain(self, sql: str, params: Sequence[object] = ()) -> str:
         """The optimizer's chosen plan for a SELECT, as indented text
@@ -292,6 +319,10 @@ class Executor:
         updates = []
         for rid in rids:
             row = table.get_row(rid)
+            # Re-fetching the target row is the same random access that
+            # _locate_rids charges; cold update runs previously got it
+            # for free, under-reporting Figure 5's update costs.
+            ctx.charge_random_read(1)
             new_row = list(row)
             for ordinal, expr in assignment_ordinals:
                 new_row[ordinal] = eval_row(expr, row, positions)

@@ -15,8 +15,10 @@ transition visible in Figure 1.
 
 from __future__ import annotations
 
+import math
+
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.errors import ExecutionError
 from repro.engine.costs import DEFAULT_COST_MODEL, MB, CostModel
@@ -91,6 +93,90 @@ class QueryMetrics:
         self.rollbacks += other.rollbacks
 
 
+#: QueryMetrics fields that are *additive* and attributed span-by-span.
+#: Every charge made while a span is active lands on that span; summing a
+#: field over the whole span tree (root included) reproduces the
+#: statement-level total exactly — the invariant the differential tests
+#: in ``tests/test_explain_analyze.py`` enforce.
+SPAN_ATTRIBUTED_FIELDS = (
+    "elapsed_ms",
+    "cpu_ms",
+    "data_read_mb",
+    "data_written_mb",
+    "pages_read",
+    "spilled_bytes",
+    "lock_wait_ms",
+    "segments_skipped",
+    "segments_read",
+    "segment_cache_hits",
+    "segment_cache_misses",
+    "segment_cache_evictions",
+    "columns_late_materialized",
+    "code_path_hits",
+    "code_path_fallbacks",
+    "faults_injected",
+    "rollbacks",
+)
+
+
+@dataclass
+class OperatorSpan:
+    """Per-plan-node slice of one statement's metrics.
+
+    A span is opened when an operator's ``execute`` generator first runs
+    and is *active* whenever that operator's own code is on the Python
+    stack (children push their spans on top while producing a batch, so
+    charges always land on the innermost running operator). All charge
+    fields are **self** amounts — exclusive of children; use
+    :meth:`total` for inclusive values.
+    """
+
+    label: str = ""
+    op_id: int = 0
+    rows_out: int = 0
+    batches_out: int = 0
+    elapsed_ms: float = 0.0
+    cpu_ms: float = 0.0
+    data_read_mb: float = 0.0
+    data_written_mb: float = 0.0
+    pages_read: int = 0
+    spilled_bytes: int = 0
+    lock_wait_ms: float = 0.0
+    segments_skipped: int = 0
+    segments_read: int = 0
+    segment_cache_hits: int = 0
+    segment_cache_misses: int = 0
+    segment_cache_evictions: int = 0
+    columns_late_materialized: int = 0
+    code_path_hits: int = 0
+    code_path_fallbacks: int = 0
+    faults_injected: int = 0
+    rollbacks: int = 0
+    #: High-water mark of workspace memory reserved *by this operator*
+    #: while its span was active (statement peak is in QueryMetrics).
+    memory_peak_bytes: int = 0
+    mode: str = ""
+    dop: int = 1
+    children: List["OperatorSpan"] = field(default_factory=list)
+    #: The PhysicalOperator this span measured (None for the statement
+    #: root); explain_analyze uses it to pair spans with plan estimates.
+    operator: object = None
+
+    def walk(self):
+        """Pre-order traversal of this span subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def total(self, name: str):
+        """Inclusive value of one attributed field (self + descendants)."""
+        return getattr(self, name) + sum(c.total(name) for c in self.children)
+
+    def self_metrics(self) -> Dict[str, object]:
+        """The attributed self-amounts, as a plain dict."""
+        return {name: getattr(self, name) for name in SPAN_ATTRIBUTED_FIELDS}
+
+
 class ExecutionContext:
     """Mutable per-statement execution state.
 
@@ -124,6 +210,77 @@ class ExecutionContext:
         )
         self.metrics = QueryMetrics()
         self._memory_in_use = 0
+        #: Root of the statement's span tree. Charges made outside any
+        #: operator (statement overhead, DML index maintenance) land here.
+        self.root_span = OperatorSpan(label="<statement>", op_id=0)
+        self._span_stack: List[OperatorSpan] = [self.root_span]
+        self._span_mark = self._metrics_mark()
+        self._next_span_id = 1
+
+    # ------------------------------------------------------------- spans
+    def _metrics_mark(self):
+        metrics = self.metrics
+        return tuple(getattr(metrics, name) for name in SPAN_ATTRIBUTED_FIELDS)
+
+    def _attribute_to_active(self) -> None:
+        """Charge everything since the last switch point to the span that
+        was active during that interval (the current stack top)."""
+        mark = self._metrics_mark()
+        previous = self._span_mark
+        if mark != previous:
+            span = self._span_stack[-1]
+            for name, new_value, old_value in zip(
+                    SPAN_ATTRIBUTED_FIELDS, mark, previous):
+                delta = new_value - old_value
+                if delta:
+                    setattr(span, name, getattr(span, name) + delta)
+            self._span_mark = mark
+
+    def begin_operator_span(self, operator) -> OperatorSpan:
+        """Open a span for one operator execution, parented under the
+        span active right now (its producing operator, or the root)."""
+        span = OperatorSpan(
+            op_id=self._next_span_id,
+            label=type(operator).__name__,
+            mode=getattr(operator, "mode", ""),
+            dop=getattr(operator, "dop", 1),
+            operator=operator,
+        )
+        self._next_span_id += 1
+        self._span_stack[-1].children.append(span)
+        return span
+
+    def push_span(self, span: OperatorSpan) -> None:
+        """Make ``span`` the attribution target for subsequent charges."""
+        self._attribute_to_active()
+        self._span_stack.append(span)
+
+    def pop_span(self, span: OperatorSpan) -> None:
+        """Suspend ``span``; charges flow to whatever it was stacked on."""
+        self._attribute_to_active()
+        popped = self._span_stack.pop()
+        if popped is not span:
+            raise ExecutionError(
+                f"span stack corruption: popped {popped.label!r}, "
+                f"expected {span.label!r}")
+
+    def finish_operator_span(self, span: OperatorSpan) -> None:
+        """Seal a span once its operator is done; the label is captured
+        now so post-execution state (e.g. SPILLED) is reflected."""
+        if span.operator is not None:
+            span.label = span.operator.describe()
+
+    def finalize_spans(self) -> None:
+        """Flush charges made since the last span switch to the active
+        span (the root once every operator has finished). Without this,
+        trailing statement work — and all of a DML statement, which runs
+        no operators — would never reach the span tree."""
+        self._attribute_to_active()
+
+    @property
+    def active_span(self) -> OperatorSpan:
+        """The span charges are currently attributed to."""
+        return self._span_stack[-1]
 
     # ------------------------------------------------------------- CPU
     def charge_serial_cpu(self, ms: float) -> None:
@@ -176,7 +333,7 @@ class ExecutionContext:
             return
         cm = self.cost_model
         mb = data_bytes / MB
-        self.metrics.pages_read += int(data_bytes // cm.page_bytes) + 1
+        self.metrics.pages_read += _ceil_pages(data_bytes, cm.page_bytes)
         self.metrics.data_read_mb += mb
         self.metrics.elapsed_ms += mb * cm.btree_scan_io_ms_per_mb
 
@@ -186,7 +343,7 @@ class ExecutionContext:
             return
         cm = self.cost_model
         mb = data_bytes / MB
-        self.metrics.pages_read += int(data_bytes // cm.page_bytes) + 1
+        self.metrics.pages_read += _ceil_pages(data_bytes, cm.page_bytes)
         self.metrics.data_read_mb += mb
         self.metrics.elapsed_ms += mb * cm.seq_io_ms_per_mb
 
@@ -218,6 +375,9 @@ class ExecutionContext:
         self.metrics.memory_peak_bytes = max(
             self.metrics.memory_peak_bytes, self._memory_in_use
         )
+        span = self._span_stack[-1]
+        span.memory_peak_bytes = max(span.memory_peak_bytes,
+                                     self._memory_in_use)
         return True
 
     def release_memory(self, nbytes: int) -> None:
@@ -250,3 +410,9 @@ class ExecutionContext:
     def charge_statement_overhead(self) -> None:
         """Fixed per-statement cost (parse, plan cache, logging)."""
         self.charge_serial_cpu(self.cost_model.statement_overhead_ms)
+
+
+def _ceil_pages(data_bytes: float, page_bytes: int) -> int:
+    """Pages covering ``data_bytes``: proper ceiling division (exact page
+    multiples previously over-counted by one page)."""
+    return int(math.ceil(data_bytes / page_bytes))

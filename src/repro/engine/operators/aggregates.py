@@ -162,31 +162,35 @@ class HashAggregate(_AggregateBase):
         reserved = 0
         self.spilled = False
         n_aggs = len(self.aggregates)
-        for batch in self.child().execute(ctx):
-            self.charge_rows(ctx, len(batch))
-            hash_cost = len(batch) * cm.hash_cpu_ms_per_row
-            if self.mode == BATCH_MODE:
-                hash_cost *= cm.batch_cpu_ms_per_row / cm.row_cpu_ms_per_row
-            if self.spilled:
-                hash_cost *= cm.spill_cpu_multiplier
-                ctx.charge_spill(batch.payload_bytes())
-            ctx.charge_parallel_cpu(hash_cost, self.dop)
+        # The hash-table grant must be returned even when the child (or
+        # an aggregate expression) raises mid-stream.
+        try:
+            for batch in self.child().execute(ctx):
+                self.charge_rows(ctx, len(batch))
+                hash_cost = len(batch) * cm.hash_cpu_ms_per_row
+                if self.mode == BATCH_MODE:
+                    hash_cost *= cm.batch_cpu_ms_per_row / cm.row_cpu_ms_per_row
+                if self.spilled:
+                    hash_cost *= cm.spill_cpu_multiplier
+                    ctx.charge_spill(batch.payload_bytes())
+                ctx.charge_parallel_cpu(hash_cost, self.dop)
 
-            arg_values = self._arg_arrays(batch, ctx)
-            for key, indices in _group_indices(batch, self.group_by, ctx).items():
-                state = groups.get(key)
-                if state is None:
-                    state = _GroupState(n_aggs)
-                    groups[key] = state
-                    if not self.spilled:
-                        if ctx.acquire_memory(entry_bytes):
-                            reserved += entry_bytes
-                        else:
-                            self.spilled = True
-                self._update_state(state, arg_values, indices)
-        result = self._emit(groups)
-        if reserved:
-            ctx.release_memory(reserved)
+                arg_values = self._arg_arrays(batch, ctx)
+                for key, indices in _group_indices(batch, self.group_by, ctx).items():
+                    state = groups.get(key)
+                    if state is None:
+                        state = _GroupState(n_aggs)
+                        groups[key] = state
+                        if not self.spilled:
+                            if ctx.acquire_memory(entry_bytes):
+                                reserved += entry_bytes
+                            else:
+                                self.spilled = True
+                    self._update_state(state, arg_values, indices)
+            result = self._emit(groups)
+        finally:
+            if reserved:
+                ctx.release_memory(reserved)
         if result is not None:
             yield result
 

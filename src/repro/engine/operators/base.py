@@ -21,6 +21,8 @@ CPU time.
 
 from __future__ import annotations
 
+import functools
+
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core.errors import ExecutionError
@@ -34,10 +36,58 @@ BATCH_MODE = "batch"
 DEFAULT_BATCH_ROWS = 4096
 
 
+def _instrument_execute(raw):
+    """Wrap an operator's ``execute`` generator with span accounting.
+
+    The wrapper opens one :class:`~repro.engine.metrics.OperatorSpan` per
+    execution and keeps it pushed exactly while the operator's own body
+    (or a child pull made from it) runs, so every ``charge_*`` call lands
+    on the innermost active operator. It also counts actual rows and
+    batches produced. Attribution is observation-only: the charges
+    themselves are untouched, so statement totals are byte-identical.
+    """
+
+    @functools.wraps(raw)
+    def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
+        span = ctx.begin_operator_span(self)
+        gen = raw(self, ctx)
+        try:
+            while True:
+                ctx.push_span(span)
+                try:
+                    batch = next(gen)
+                except StopIteration:
+                    break
+                finally:
+                    ctx.pop_span(span)
+                span.rows_out += len(batch)
+                span.batches_out += 1
+                yield batch
+        finally:
+            # Close the inner generator under this span so cleanup work
+            # (e.g. releasing memory grants) is attributed to it, whether
+            # we finished normally, raised, or were closed early.
+            ctx.push_span(span)
+            try:
+                gen.close()
+            finally:
+                ctx.pop_span(span)
+                ctx.finish_operator_span(span)
+
+    execute._span_instrumented = True
+    return execute
+
+
 class PhysicalOperator:
     """Base class: a node in a physical plan tree."""
 
     mode: str = ROW_MODE
+
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        raw = cls.__dict__.get("execute")
+        if raw is not None and not getattr(raw, "_span_instrumented", False):
+            cls.execute = _instrument_execute(raw)
 
     def __init__(self, children: Sequence["PhysicalOperator"] = (), dop: int = 1):
         self.children: List[PhysicalOperator] = list(children)

@@ -77,19 +77,30 @@ class HashJoin(PhysicalOperator):
         build_bytes = 0
         spilled = False
         build_rows = 0
-        for batch in self.child(0).execute(ctx):
-            build_rows += len(batch)
-            payload = batch.payload_bytes() + len(batch) * cm.hash_entry_overhead_bytes
-            if not spilled and not ctx.acquire_memory(payload):
-                spilled = True
-            if spilled:
-                ctx.charge_spill(payload)
-            else:
-                build_bytes += payload
-            for row in batch_to_rows(batch, build_cols):
-                table.setdefault(build_key(row), []).append(row)
-        ctx.charge_parallel_cpu(build_rows * cm.hash_cpu_ms_per_row, self.dop)
+        # The build-side grant must be returned on every exit path — a
+        # probe-side error or an early close (e.g. a Top above this join
+        # stops pulling) previously leaked the whole reservation.
+        try:
+            for batch in self.child(0).execute(ctx):
+                build_rows += len(batch)
+                payload = batch.payload_bytes() + len(batch) * cm.hash_entry_overhead_bytes
+                if not spilled and not ctx.acquire_memory(payload):
+                    spilled = True
+                if spilled:
+                    ctx.charge_spill(payload)
+                else:
+                    build_bytes += payload
+                for row in batch_to_rows(batch, build_cols):
+                    table.setdefault(build_key(row), []).append(row)
+            ctx.charge_parallel_cpu(build_rows * cm.hash_cpu_ms_per_row, self.dop)
+            yield from self._probe(ctx, cm, table, probe_cols, probe_key,
+                                   spilled)
+        finally:
+            if build_bytes:
+                ctx.release_memory(build_bytes)
 
+    def _probe(self, ctx: ExecutionContext, cm, table, probe_cols,
+               probe_key, spilled: bool) -> Iterator[Batch]:
         out_names = self.output_columns
         pending: List[Row] = []
         for batch in self.child(1).execute(ctx):
@@ -132,8 +143,6 @@ class HashJoin(PhysicalOperator):
                     if result is not None:
                         yield result
                     pending = []
-        if build_bytes:
-            ctx.release_memory(build_bytes)
         result = rows_to_batch(pending, out_names)
         if result is not None:
             yield result

@@ -70,20 +70,25 @@ class Sort(PhysicalOperator):
         n = len(merged)
         payload = merged.payload_bytes()
         in_memory = ctx.acquire_memory(payload)
-        if not in_memory:
-            # External merge sort: the whole input is written to tempdb
-            # run files and read back during the merge.
-            ctx.charge_spill(payload)
-        cm = ctx.cost_model
-        sort_cost = n * max(1.0, math.log2(max(n, 2))) * cm.sort_cpu_ms_per_row_log
-        if not in_memory:
-            sort_cost *= cm.spill_cpu_multiplier
-        ctx.charge_parallel_cpu(sort_cost, self.dop)
+        try:
+            if not in_memory:
+                # External merge sort: the whole input is written to tempdb
+                # run files and read back during the merge.
+                ctx.charge_spill(payload)
+            cm = ctx.cost_model
+            sort_cost = (n * max(1.0, math.log2(max(n, 2)))
+                         * cm.sort_cpu_ms_per_row_log)
+            if not in_memory:
+                sort_cost *= cm.spill_cpu_multiplier
+            ctx.charge_parallel_cpu(sort_cost, self.dop)
 
-        order = self._argsort(merged)
-        result = merged.take(order)
-        if in_memory:
-            ctx.release_memory(payload)
+            order = self._argsort(merged)
+            result = merged.take(order)
+        finally:
+            # The grant must be returned even when sorting raises or the
+            # generator is closed before exhaustion.
+            if in_memory:
+                ctx.release_memory(payload)
         yield result
 
     def _argsort(self, batch: Batch) -> np.ndarray:

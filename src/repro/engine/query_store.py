@@ -5,9 +5,18 @@ Store" and SQL Server's Dynamic Management Views (Sections 3.1 and
 5.2.1: "We use SQL Server's Dynamic Management Views to obtain a query's
 CPU time"). This module provides the equivalent observability surface:
 attach a :class:`QueryStore` to an :class:`~repro.engine.executor.Executor`
-and every executed statement is recorded with its metrics and chosen
-plan fingerprint; aggregates (count, total/mean CPU, median elapsed,
-plan changes) are queryable per statement text.
+and every executed statement is recorded with its metrics, chosen plan
+fingerprint, and per-operator node statistics; aggregates (count,
+total/mean CPU, median elapsed, plan changes) are queryable per
+statement text.
+
+Bounded in both dimensions: per-statement execution history is capped at
+``capacity`` entries, and the set of distinct statements is capped at
+``max_statements`` with least-recently-used eviction — an ad-hoc
+workload of unique statement texts can no longer grow the store without
+bound. Aggregates are *running totals* maintained at record time, so
+neither history trimming nor statement eviction silently under-reports
+``total_cpu_ms`` / ``top_by_cpu``.
 
 The advisor's workload files can be bootstrapped from a Query Store
 capture — exactly how DTA users feed production workloads into tuning.
@@ -17,9 +26,9 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.metrics import QueryMetrics
+from repro.engine.metrics import OperatorSpan, QueryMetrics
 
 
 @dataclass
@@ -34,30 +43,117 @@ class QueryExecution:
 
 
 @dataclass
+class PlanNodeStats:
+    """Running aggregates for one plan node across executions of one
+    (statement, plan fingerprint) pair — the per-operator runtime stats
+    SQL Server exposes via ``sys.dm_exec_query_profiles``."""
+
+    op: str
+    label: str
+    executions: int = 0
+    total_rows: float = 0.0
+    total_elapsed_ms: float = 0.0
+    total_cpu_ms: float = 0.0
+    total_data_read_mb: float = 0.0
+    total_spilled_bytes: int = 0
+
+    @property
+    def mean_rows(self) -> float:
+        """Average actual rows produced per execution."""
+        return self.total_rows / self.executions if self.executions else 0.0
+
+    @property
+    def mean_cpu_ms(self) -> float:
+        """Average self CPU per execution."""
+        return self.total_cpu_ms / self.executions if self.executions else 0.0
+
+    @property
+    def mean_elapsed_ms(self) -> float:
+        """Average self elapsed time per execution."""
+        return (self.total_elapsed_ms / self.executions
+                if self.executions else 0.0)
+
+    def fold(self, node: Dict[str, object]) -> None:
+        """Accumulate one execution's node snapshot."""
+        self.label = str(node.get("label", self.label))
+        self.executions += 1
+        self.total_rows += float(node.get("rows", 0))
+        self.total_elapsed_ms += float(node.get("elapsed_ms", 0.0))
+        self.total_cpu_ms += float(node.get("cpu_ms", 0.0))
+        self.total_data_read_mb += float(node.get("data_read_mb", 0.0))
+        self.total_spilled_bytes += int(node.get("spilled_bytes", 0))
+
+
+@dataclass
 class QueryStats:
-    """Aggregates over all executions of one statement text."""
+    """Aggregates over all executions of one statement text.
+
+    ``executions`` is the retained history window (bounded by the
+    store's ``capacity``); ``recorded`` and the ``total_*`` aggregates
+    are lifetime running totals that survive history trimming.
+    """
 
     sql: str
     executions: List[QueryExecution] = field(default_factory=list)
+    #: Lifetime execution count (survives history trimming).
+    recorded: int = 0
+    #: Per-fingerprint per-node runtime stats, in plan pre-order.
+    node_stats: Dict[str, List[PlanNodeStats]] = field(default_factory=dict)
+    _total_cpu_ms: float = 0.0
+    _total_elapsed_ms: float = 0.0
+    _total_data_read_mb: float = 0.0
+    _fingerprints: List[str] = field(default_factory=list)
+
+    def record_execution(self, execution: QueryExecution, capacity: int,
+                         node_stats: Optional[Sequence[Dict[str, object]]]
+                         = None) -> None:
+        """Fold one execution into the running aggregates and the
+        bounded history window."""
+        self.executions.append(execution)
+        if len(self.executions) > capacity:
+            self.executions.pop(0)
+        self.recorded += 1
+        self._total_cpu_ms += execution.cpu_ms
+        self._total_elapsed_ms += execution.elapsed_ms
+        self._total_data_read_mb += execution.data_read_mb
+        if execution.plan_fingerprint not in self._fingerprints:
+            self._fingerprints.append(execution.plan_fingerprint)
+        if node_stats:
+            self._fold_node_stats(execution.plan_fingerprint, node_stats)
+
+    def _fold_node_stats(self, fingerprint: str,
+                         nodes: Sequence[Dict[str, object]]) -> None:
+        existing = self.node_stats.get(fingerprint)
+        ops = [str(n.get("op", "")) for n in nodes]
+        if existing is None or [s.op for s in existing] != ops:
+            existing = [PlanNodeStats(op=op, label=op) for op in ops]
+            self.node_stats[fingerprint] = existing
+        for stats, node in zip(existing, nodes):
+            stats.fold(node)
 
     @property
     def count(self) -> int:
-        """Number of recorded executions."""
+        """Number of executions retained in the history window."""
         return len(self.executions)
 
     @property
     def total_cpu_ms(self) -> float:
-        """Total CPU time across all executions."""
-        return sum(e.cpu_ms for e in self.executions)
+        """Lifetime total CPU time (survives history trimming)."""
+        return self._total_cpu_ms
+
+    @property
+    def total_elapsed_ms(self) -> float:
+        """Lifetime total elapsed time (survives history trimming)."""
+        return self._total_elapsed_ms
 
     @property
     def mean_cpu_ms(self) -> float:
-        """Average CPU time per execution."""
-        return self.total_cpu_ms / self.count if self.count else 0.0
+        """Average CPU time per execution, over the lifetime totals."""
+        return self._total_cpu_ms / self.recorded if self.recorded else 0.0
 
     @property
     def median_elapsed_ms(self) -> float:
-        """Median elapsed time per execution."""
+        """Median elapsed time over the retained history window."""
         if not self.executions:
             return 0.0
         return statistics.median(e.elapsed_ms for e in self.executions)
@@ -65,60 +161,120 @@ class QueryStats:
     @property
     def plan_fingerprints(self) -> List[str]:
         """Distinct plans observed, in first-seen order (plan regressions
-        show up as a fingerprint change)."""
-        seen: List[str] = []
-        for execution in self.executions:
-            if execution.plan_fingerprint not in seen:
-                seen.append(execution.plan_fingerprint)
-        return seen
+        show up as a fingerprint change); survives history trimming."""
+        return list(self._fingerprints)
 
     @property
     def had_plan_change(self) -> bool:
         """True when more than one distinct plan was observed."""
-        return len(self.plan_fingerprints) > 1
+        return len(self._fingerprints) > 1
+
+    # -------------------------------------------------- node-level views
+    def node_summary(self, fingerprint: Optional[str] = None
+                     ) -> List[PlanNodeStats]:
+        """Per-node runtime stats for one plan (default: latest seen)."""
+        if fingerprint is None:
+            fingerprint = self._fingerprints[-1] if self._fingerprints else ""
+        return list(self.node_stats.get(fingerprint, []))
+
+    def plan_change_report(self) -> str:
+        """Readable report of every plan seen for this statement, its
+        per-operator runtime stats, and — when the plan changed — which
+        operators appeared or disappeared between the first and the most
+        recent plan."""
+        lines = [f"plan history for: {self.sql}"]
+        for fingerprint in self._fingerprints:
+            lines.append(f"plan: {fingerprint or '<none>'}")
+            for node in self.node_stats.get(fingerprint, []):
+                lines.append(
+                    f"  {node.op:<24s} execs={node.executions:<4d} "
+                    f"mean rows={node.mean_rows:10.1f} "
+                    f"mean cpu={node.mean_cpu_ms:10.4f} ms "
+                    f"mean elapsed={node.mean_elapsed_ms:10.4f} ms")
+        if self.had_plan_change:
+            before = [s.op for s in
+                      self.node_stats.get(self._fingerprints[0], [])]
+            after = [s.op for s in
+                     self.node_stats.get(self._fingerprints[-1], [])]
+            gone = [op for op in before if op not in after]
+            new = [op for op in after if op not in before]
+            if gone or new:
+                lines.append("operator changes: "
+                             + ", ".join([f"-{op}" for op in gone]
+                                         + [f"+{op}" for op in new]))
+        return "\n".join(lines)
 
 
 class QueryStore:
     """Records executions; query by text or rank by resource usage."""
 
-    def __init__(self, capacity: int = 10_000):
+    def __init__(self, capacity: int = 10_000,
+                 max_statements: int = 10_000):
         self.capacity = capacity
+        self.max_statements = max_statements
         self._stats: Dict[str, QueryStats] = {}
         self._recorded = 0
+        self._evicted_statements = 0
+        self._total_cpu_ms = 0.0
+        self._total_elapsed_ms = 0.0
 
     def record(self, sql: str, metrics: QueryMetrics,
-               plan_fingerprint: str = "") -> None:
-        """Record one execution of ``sql``."""
-        stats = self._stats.get(sql)
+               plan_fingerprint: str = "",
+               node_stats: Optional[Sequence[Dict[str, object]]] = None
+               ) -> None:
+        """Record one execution of ``sql`` (most-recently-used position;
+        the least-recently-used statement is evicted past the bound)."""
+        stats = self._stats.pop(sql, None)
         if stats is None:
             stats = QueryStats(sql=sql)
-            self._stats[sql] = stats
-        stats.executions.append(QueryExecution(
+        self._stats[sql] = stats
+        stats.record_execution(QueryExecution(
             cpu_ms=metrics.cpu_ms,
             elapsed_ms=metrics.elapsed_ms,
             data_read_mb=metrics.data_read_mb,
             rows_returned=metrics.rows_returned,
             plan_fingerprint=plan_fingerprint,
-        ))
+        ), self.capacity, node_stats)
         self._recorded += 1
-        if len(stats.executions) > self.capacity:
-            stats.executions.pop(0)
+        self._total_cpu_ms += metrics.cpu_ms
+        self._total_elapsed_ms += metrics.elapsed_ms
+        while len(self._stats) > self.max_statements:
+            lru_sql = next(iter(self._stats))
+            del self._stats[lru_sql]
+            self._evicted_statements += 1
 
     def __len__(self) -> int:
         return len(self._stats)
 
     @property
     def recorded_executions(self) -> int:
-        """Total executions recorded (across all statements)."""
+        """Total executions recorded (across all statements, lifetime)."""
         return self._recorded
 
+    @property
+    def total_cpu_ms(self) -> float:
+        """Store-wide total CPU, surviving statement eviction."""
+        return self._total_cpu_ms
+
+    @property
+    def total_elapsed_ms(self) -> float:
+        """Store-wide total elapsed time, surviving statement eviction."""
+        return self._total_elapsed_ms
+
+    @property
+    def evicted_statements(self) -> int:
+        """Distinct statements dropped by the LRU bound so far."""
+        return self._evicted_statements
+
     def stats(self, sql: str) -> Optional[QueryStats]:
-        """Aggregates for one statement text, or None if never seen."""
+        """Aggregates for one statement text, or None if never seen (or
+        evicted)."""
         return self._stats.get(sql)
 
     def top_by_cpu(self, n: int = 10) -> List[QueryStats]:
         """The statements consuming the most total CPU — the classic
-        "what should I tune?" Query Store view."""
+        "what should I tune?" Query Store view. Ranks by lifetime
+        running totals, so trimmed history does not skew the ranking."""
         ordered = sorted(self._stats.values(),
                          key=lambda s: s.total_cpu_ms, reverse=True)
         return ordered[:n]
@@ -128,20 +284,29 @@ class QueryStore:
         SQL Server's Automatic Plan Correction acts on, Section 5.2.1)."""
         return [s for s in self._stats.values() if s.had_plan_change]
 
+    def plan_change_report(self, sql: str) -> str:
+        """Per-operator report of how ``sql``'s plans performed; empty
+        string when the statement was never recorded."""
+        stats = self._stats.get(sql)
+        return stats.plan_change_report() if stats is not None else ""
+
     def as_workload(self, weight_by_frequency: bool = True
                     ) -> List[Tuple[str, float]]:
         """Export (sql, weight) pairs for the tuning advisor, weighting
-        each statement by how often it ran."""
+        each statement by how often it ran (lifetime counts)."""
         out = []
         for stats in self._stats.values():
-            weight = float(stats.count) if weight_by_frequency else 1.0
+            weight = float(stats.recorded) if weight_by_frequency else 1.0
             out.append((stats.sql, weight))
         return out
 
     def clear(self) -> None:
-        """Forget all recorded history."""
+        """Forget all recorded history and running totals."""
         self._stats.clear()
         self._recorded = 0
+        self._evicted_statements = 0
+        self._total_cpu_ms = 0.0
+        self._total_elapsed_ms = 0.0
 
 
 def plan_fingerprint(planned) -> str:
@@ -162,3 +327,26 @@ def plan_fingerprint(planned) -> str:
             label += f"({strategy})"
         parts.append(label)
     return "->".join(parts)
+
+
+def node_stats_from_span(root_span: Optional[OperatorSpan]
+                         ) -> List[Dict[str, object]]:
+    """Flatten a statement's span tree into per-node stat snapshots
+    (pre-order, statement root included) for :meth:`QueryStore.record`."""
+    if root_span is None:
+        return []
+    out: List[Dict[str, object]] = []
+    for span in root_span.walk():
+        operator = span.operator
+        out.append({
+            "op": (type(operator).__name__ if operator is not None
+                   else "<statement>"),
+            "label": span.label,
+            "rows": span.rows_out,
+            "elapsed_ms": span.elapsed_ms,
+            "cpu_ms": span.cpu_ms,
+            "data_read_mb": span.data_read_mb,
+            "spilled_bytes": span.spilled_bytes,
+            "memory_peak_bytes": span.memory_peak_bytes,
+        })
+    return out

@@ -60,6 +60,13 @@ class Materializer:
         return self._build(planned.root)
 
     def _build(self, node: PlanNode) -> PhysicalOperator:
+        op = self._build_op(node)
+        # Pair the operator with the plan node it came from so EXPLAIN
+        # ANALYZE can print estimated vs actual rows side by side.
+        op.plan_node = node
+        return op
+
+    def _build_op(self, node: PlanNode) -> PhysicalOperator:
         if isinstance(node, AccessPathNode):
             return self._build_access(node)
         if isinstance(node, FilterNode):

@@ -1,0 +1,176 @@
+"""Regression tests for metrics/memory accounting fixes: memory-grant
+leaks in Sort / HashJoin / HashAggregate, page-count ceiling division,
+and the cold-UPDATE row re-fetch charge."""
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.executor import Executor
+from repro.engine.expressions import ColumnRef
+from repro.engine.metrics import ExecutionContext
+from repro.engine.operators import (
+    AggregateSpec,
+    BTreeSeek,
+    HashAggregate,
+    HashJoin,
+    Sort,
+    SortKey,
+)
+from repro.engine.operators.base import PhysicalOperator
+from repro.storage.database import Database
+from repro.storage.table import Table
+
+
+def make_table(n=1000, with_btree=True):
+    schema = TableSchema("t", [
+        Column("a", INT, nullable=False),
+        Column("b", INT, nullable=False),
+        Column("s", varchar(8)),
+    ])
+    table = Table(schema)
+    table.bulk_load([(i, i % 10, f"g{i % 3}") for i in range(n)])
+    if with_btree:
+        table.set_primary_btree(["a"])
+    return table
+
+
+def make_db(n=100):
+    db = Database()
+    schema = TableSchema("t", [
+        Column("a", INT, nullable=False),
+        Column("b", INT, nullable=False),
+    ])
+    table = db.create_table(schema)
+    table.bulk_load([(i, i % 10) for i in range(n)])
+    table.set_primary_btree(["a"])
+    return db
+
+
+class _ExplodingScan(PhysicalOperator):
+    """Yields its child's first batch, then raises."""
+
+    def __init__(self, inner):
+        super().__init__(children=(inner,))
+        self.mode = inner.mode
+
+    @property
+    def output_columns(self):
+        return self.child().output_columns
+
+    def execute(self, ctx):
+        for batch in self.child().execute(ctx):
+            yield batch
+            raise ExecutionError("boom after first batch")
+
+
+class TestGrantLeaks:
+    def test_sort_releases_grant_when_sort_key_is_invalid(self):
+        table = make_table(500)
+        sort = Sort(BTreeSeek(table, ["a", "b"]), [SortKey("nope")])
+        ctx = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            list(sort.execute(ctx))
+        assert ctx.memory_in_use == 0
+
+    def test_sort_normal_path_still_releases(self):
+        table = make_table(500)
+        sort = Sort(BTreeSeek(table, ["a", "b"]), [SortKey("b")])
+        ctx = ExecutionContext()
+        rows = sum(len(batch) for batch in sort.execute(ctx))
+        assert rows == 500
+        assert ctx.memory_in_use == 0
+
+    def test_hash_join_releases_grant_on_early_close(self):
+        # 10 build rows per key value x 5000 probe rows = 50k output
+        # rows, so the first batch is yielded mid-probe with the build
+        # reservation still held.
+        build = make_table(100)
+        probe = make_table(5000)
+        join = HashJoin(
+            BTreeSeek(build, ["a", "b"], prefix="l."),
+            BTreeSeek(probe, ["a", "b"], prefix="r."),
+            ["l.b"], ["r.b"],
+        )
+        ctx = ExecutionContext()
+        gen = join.execute(ctx)
+        first = next(gen)
+        assert len(first) > 0
+        assert ctx.memory_in_use > 0, "build side should hold a reservation"
+        gen.close()
+        assert ctx.memory_in_use == 0
+
+    def test_hash_join_releases_grant_on_probe_error(self):
+        build = make_table(100)
+        probe = make_table(5000)
+        join = HashJoin(
+            BTreeSeek(build, ["a", "b"], prefix="l."),
+            _ExplodingScan(BTreeSeek(probe, ["a", "b"], prefix="r.")),
+            ["l.b"], ["r.b"],
+        )
+        ctx = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            list(join.execute(ctx))
+        assert ctx.memory_in_use == 0
+
+    def test_hash_aggregate_releases_grant_on_child_error(self):
+        table = make_table(1000)
+        agg = HashAggregate(
+            _ExplodingScan(BTreeSeek(table, ["a", "b"])),
+            ["b"],
+            [AggregateSpec("sum", ColumnRef("a"), "sum_a")],
+        )
+        ctx = ExecutionContext()
+        with pytest.raises(ExecutionError):
+            list(agg.execute(ctx))
+        assert ctx.memory_in_use == 0
+
+
+class TestPageCounts:
+    def test_seq_read_exact_page_multiple_not_overcounted(self):
+        ctx = ExecutionContext(cold=True)
+        page = ctx.cost_model.page_bytes
+        ctx.charge_seq_read(3 * page)
+        assert ctx.metrics.pages_read == 3
+
+    def test_btree_scan_read_exact_page_multiple_not_overcounted(self):
+        ctx = ExecutionContext(cold=True)
+        page = ctx.cost_model.page_bytes
+        ctx.charge_btree_scan_read(2 * page)
+        assert ctx.metrics.pages_read == 2
+
+    def test_partial_pages_still_round_up(self):
+        ctx = ExecutionContext(cold=True)
+        page = ctx.cost_model.page_bytes
+        ctx.charge_seq_read(3 * page + 1)
+        assert ctx.metrics.pages_read == 4
+        ctx.charge_btree_scan_read(10)
+        assert ctx.metrics.pages_read == 5
+
+    def test_hot_reads_charge_no_pages(self):
+        ctx = ExecutionContext(cold=False)
+        ctx.charge_seq_read(10 * ctx.cost_model.page_bytes)
+        ctx.charge_btree_scan_read(10 * ctx.cost_model.page_bytes)
+        assert ctx.metrics.pages_read == 0
+        assert ctx.metrics.data_read_mb == 0.0
+
+
+class TestColdUpdateRefetch:
+    def test_cold_update_charges_one_read_per_target_row(self):
+        # UPDATE and DELETE locate rids identically and charge one index
+        # traversal per maintained row; the only pages_read difference is
+        # the UPDATE's per-row re-fetch of the target row.
+        update = Executor(make_db()).execute(
+            "UPDATE t SET b = 99 WHERE a < 5", cold=True)
+        delete = Executor(make_db()).execute(
+            "DELETE FROM t WHERE a < 5", cold=True)
+        assert update.rows_affected == 5
+        assert delete.rows_affected == 5
+        assert update.metrics.pages_read == delete.metrics.pages_read + 5
+
+    def test_hot_update_unchanged(self):
+        result = Executor(make_db()).execute(
+            "UPDATE t SET b = 99 WHERE a < 5", cold=False)
+        assert result.rows_affected == 5
+        assert result.metrics.pages_read == 0

@@ -69,6 +69,53 @@ class TestRecording:
         assert len(store) == 0
         assert store.recorded_executions == 0
 
+    def test_totals_survive_history_trimming(self):
+        # Regression: total_cpu_ms used to sum only the retained window,
+        # under-reporting once history was trimmed.
+        store = QueryStore(capacity=3)
+        executor = make_executor(store)
+        metrics = [executor.execute("SELECT count(*) FROM t").metrics
+                   for _ in range(6)]
+        stats = store.stats("SELECT count(*) FROM t")
+        assert stats.count == 3          # retained window
+        assert stats.recorded == 6       # lifetime
+        expected_cpu = sum(m.cpu_ms for m in metrics)
+        assert stats.total_cpu_ms == pytest.approx(expected_cpu)
+        assert stats.mean_cpu_ms == pytest.approx(expected_cpu / 6)
+        assert store.total_cpu_ms == pytest.approx(expected_cpu)
+
+    def test_statement_lru_bound(self):
+        store = QueryStore(max_statements=2)
+        executor = make_executor(store)
+        executor.execute("SELECT count(*) FROM t")
+        executor.execute("SELECT sum(v) FROM t WHERE k = 1")
+        executor.execute("SELECT g, sum(v) FROM t GROUP BY g")
+        assert len(store) == 2
+        assert store.evicted_statements == 1
+        # Oldest (least recently used) statement was evicted.
+        assert store.stats("SELECT count(*) FROM t") is None
+        assert store.stats("SELECT g, sum(v) FROM t GROUP BY g") is not None
+
+    def test_lru_reexecution_protects_from_eviction(self):
+        store = QueryStore(max_statements=2)
+        executor = make_executor(store)
+        executor.execute("SELECT count(*) FROM t")
+        executor.execute("SELECT sum(v) FROM t WHERE k = 1")
+        # Touch the first statement again: it becomes most recent.
+        executor.execute("SELECT count(*) FROM t")
+        executor.execute("SELECT g, sum(v) FROM t GROUP BY g")
+        assert store.stats("SELECT count(*) FROM t") is not None
+        assert store.stats("SELECT sum(v) FROM t WHERE k = 1") is None
+
+    def test_store_totals_survive_eviction(self):
+        store = QueryStore(max_statements=1)
+        executor = make_executor(store)
+        m1 = executor.execute("SELECT count(*) FROM t").metrics
+        m2 = executor.execute("SELECT sum(v) FROM t WHERE k = 1").metrics
+        assert len(store) == 1
+        assert store.recorded_executions == 2
+        assert store.total_cpu_ms == pytest.approx(m1.cpu_ms + m2.cpu_ms)
+
 
 class TestAggregates:
     def test_top_by_cpu_orders(self):
