@@ -12,6 +12,9 @@ Public API highlights:
 * :class:`repro.WhatIfSession` — hypothetical-index costing.
 * :class:`repro.ConcurrencySimulator` — the multi-client discrete-event
   simulator behind the mixed-workload experiments.
+* :mod:`repro.engine.dmv` — always-on DMV-style system views
+  (``dm_db_index_usage_stats`` and friends), queryable through SQL and
+  exportable as JSON or Prometheus text.
 """
 
 from repro.advisor.advisor import (
@@ -30,6 +33,12 @@ from repro.engine.concurrency import (
     StatementProfile,
 )
 from repro.engine.analyze import AnalyzedQuery
+from repro.engine.dmv import (
+    SYSTEM_VIEW_NAMES,
+    dmv_snapshot,
+    dmv_to_prometheus,
+    unused_index_report,
+)
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.engine.executor import Executor, QueryResult
 from repro.engine.locks import READ_COMMITTED, SERIALIZABLE, SNAPSHOT
@@ -51,6 +60,12 @@ from repro.storage.faults import (
 )
 from repro.storage.segment_cache import DecodedSegmentCache, SegmentCacheStats
 from repro.storage.table import Table
+from repro.storage.telemetry import (
+    IndexUsageStats,
+    LogicalClock,
+    MissingIndexDetails,
+    Telemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -76,7 +91,9 @@ __all__ = [
     "Executor",
     "FaultInjector",
     "INJECTION_POINTS",
+    "IndexUsageStats",
     "InjectedFault",
+    "LogicalClock",
     "MODE_BTREE_ONLY",
     "MODE_CSI_ONLY",
     "MODE_HYBRID",
@@ -86,11 +103,14 @@ __all__ = [
     "Recommendation",
     "SERIALIZABLE",
     "SNAPSHOT",
+    "SYSTEM_VIEW_NAMES",
     "SchemaBuilder",
     "SimulationResult",
     "StatementProfile",
+    "MissingIndexDetails",
     "Table",
     "TableSchema",
+    "Telemetry",
     "TuningAdvisor",
     "WhatIfSession",
     "Workload",
@@ -98,7 +118,10 @@ __all__ = [
     "check_database",
     "check_table",
     "decimal",
+    "dmv_snapshot",
+    "dmv_to_prometheus",
     "hypothetical_btree",
     "hypothetical_columnstore",
+    "unused_index_report",
     "varchar",
 ]

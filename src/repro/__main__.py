@@ -23,6 +23,15 @@ Commands
     database and print the plan tree annotated with estimated vs actual
     rows and per-operator elapsed/CPU/I-O/memory; ``--trace FILE``
     additionally writes a Chrome trace-event JSON of the plan timeline.
+``monitor [--snapshot|--prometheus] [--watch N]``
+    Run a TPC-DS mini-workload (queries + DML) against a hybrid design
+    and report the DMV telemetry it accumulates: index usage, rowgroup
+    physical stats, missing-index observations, cache counters, and the
+    query store. Default output is a human-readable report assembled by
+    SELECTing from the ``dm_*`` system views through the SQL engine;
+    ``--snapshot`` prints the raw JSON snapshot, ``--prometheus`` the
+    Prometheus text exposition, and ``--watch N`` repeats the workload
+    for N rounds printing the report after each.
 """
 
 from __future__ import annotations
@@ -317,6 +326,114 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    import json
+
+    from repro.bench.figure9 import give_all_tables_primary_btrees
+    from repro.bench.reporting import format_table
+    from repro.engine.dmv import snapshot, to_prometheus, unused_index_report
+    from repro.engine.executor import Executor
+    from repro.engine.query_store import QueryStore
+    from repro.storage.database import Database
+    from repro.workloads.tpcds import generate_queries, generate_tpcds
+
+    database = Database("monitor")
+    generate_tpcds(database, scale=args.scale)
+    give_all_tables_primary_btrees(database)
+    # A hybrid design so every DMV has something to report: a secondary
+    # columnstore on the fact table (rowgroup/segment telemetry) and a
+    # deliberately never-read B+ tree (the unused-index report's bait).
+    database.table("store_sales").create_secondary_columnstore(
+        "csi_store_sales", rowgroup_size=4096)
+    database.table("web_sales").create_secondary_btree(
+        "ix_ws_item_unused", ["ws_item_sk"])
+    query_store = QueryStore()
+    executor = Executor(database, query_store=query_store)
+
+    queries = generate_queries(args.queries)
+    dml = [
+        "UPDATE TOP (300) store_sales SET ss_quantity += 1 "
+        "WHERE ss_sold_date_sk BETWEEN 100 AND 160",
+        "DELETE TOP (150) FROM store_sales WHERE ss_quantity > 95",
+        "UPDATE TOP (200) store_sales SET ss_net_profit += 1 "
+        "WHERE ss_store_sk = 3",
+    ]
+
+    def run_round() -> None:
+        """One monitoring interval's worth of user work."""
+        for sql in queries:
+            executor.execute(sql)
+        for sql in dml:
+            executor.execute(sql)
+
+    def print_report() -> None:
+        """Human report, assembled by querying the DMVs through SQL."""
+        usage = executor.execute(
+            "SELECT table_name, index_name, index_kind, user_seeks, "
+            "user_scans, user_lookups, user_updates, segments_scanned, "
+            "segments_skipped FROM dm_db_index_usage_stats "
+            "ORDER BY table_name")
+        print(format_table(
+            ["table", "index", "kind", "seeks", "scans", "lookups",
+             "updates", "seg scan", "seg skip"],
+            usage.rows, title="dm_db_index_usage_stats"))
+        groups = executor.execute(
+            "SELECT index_name, row_group_id, state, total_rows, "
+            "deleted_rows, size_in_bytes, delta_store_rows, "
+            "delete_buffer_rows "
+            "FROM dm_db_column_store_row_group_physical_stats "
+            "ORDER BY index_name")
+        print()
+        print(format_table(
+            ["index", "rg", "state", "rows", "deleted", "bytes",
+             "delta", "del buf"],
+            groups.rows,
+            title="dm_db_column_store_row_group_physical_stats"))
+        missing = executor.execute(
+            "SELECT table_name, equality_columns, inequality_columns, "
+            "statement_count, avg_selectivity "
+            "FROM dm_db_missing_index_details ORDER BY table_name")
+        print()
+        print(format_table(
+            ["table", "equality", "inequality", "stmts", "avg sel"],
+            missing.rows, title="dm_db_missing_index_details"))
+        caches = executor.execute(
+            "SELECT cache_name, entries, hits, misses, hit_ratio "
+            "FROM dm_os_memory_cache_counters ORDER BY cache_name")
+        print()
+        print(format_table(
+            ["cache", "entries", "hits", "misses", "hit ratio"],
+            caches.rows, title="dm_os_memory_cache_counters"))
+        unused = unused_index_report(database)
+        print()
+        if unused:
+            print(format_table(
+                ["table", "index", "kind", "updates", "bytes"],
+                [(u["table_name"], u["index_name"], u["index_kind"],
+                  u["user_updates"], u["size_bytes"]) for u in unused],
+                title="unused indexes (reads=0)"))
+        else:
+            print("unused indexes (reads=0): none")
+        print(f"\nlogical clock: {database.telemetry.clock.now} statements")
+
+    rounds = max(1, args.watch)
+    for round_no in range(rounds):
+        run_round()
+        if args.snapshot or args.prometheus:
+            continue
+        if rounds > 1:
+            print(f"=== round {round_no + 1}/{rounds} ===")
+        print_report()
+        if round_no + 1 < rounds:
+            print()
+    if args.snapshot:
+        print(json.dumps(snapshot(database, query_store=query_store),
+                         indent=1, default=str))
+    if args.prometheus:
+        print(to_prometheus(database, query_store=query_store), end="")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -374,6 +491,23 @@ def main(argv=None) -> int:
     analyze.add_argument("--trace", metavar="FILE", default=None,
                          help="also write a Chrome trace-event JSON here")
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="run a mini-workload and report its DMV telemetry")
+    monitor.add_argument("--scale", type=float, default=0.2,
+                         help="TPC-DS scale factor for the workload build")
+    monitor.add_argument("--queries", type=int, default=24,
+                         help="number of workload queries per round")
+    monitor.add_argument("--watch", type=int, default=1, metavar="N",
+                         help="repeat the workload N rounds, reporting "
+                              "after each")
+    monitor.add_argument("--snapshot", action="store_true",
+                         help="print the JSON telemetry snapshot instead "
+                              "of the report")
+    monitor.add_argument("--prometheus", action="store_true",
+                         help="print the Prometheus text exposition "
+                              "instead of the report")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -382,6 +516,7 @@ def main(argv=None) -> int:
         "inventory": _cmd_inventory,
         "check": _cmd_check,
         "analyze": _cmd_analyze,
+        "monitor": _cmd_monitor,
     }
     return handlers[args.command](args)
 

@@ -26,6 +26,7 @@ from repro.advisor.candidates import (
     CSI_MODE_ALL,
     CandidateGenerator,
     CandidateSet,
+    missing_index_candidates,
     select_candidates_per_query,
 )
 from repro.advisor.enumeration import GreedyEnumerator, SearchResult
@@ -104,12 +105,20 @@ class TuningAdvisor:
         allow_multiple_columnstores: bool = False,
         size_estimation_method: str = "run_modelling",
         keep_existing_secondary: bool = False,
+        seed_missing_indexes: bool = True,
     ) -> Recommendation:
         """Run the tuning pipeline and return a recommendation.
 
         ``consider_sorted_csi`` and ``allow_multiple_columnstores``
         enable the Section 4.5 extensions (sorted projections; several
         columnstores per table).
+
+        ``seed_missing_indexes`` additionally pools B+ tree candidates
+        derived from the database's missing-index telemetry
+        (``dm_db_missing_index_details``), so indexes the running system
+        observed a need for stay searchable even when the tuning
+        workload alone would not have generated them. A freshly built
+        database has no observations, so this is a no-op there.
         """
         started = time.perf_counter()
         session = WhatIfSession(self.database, self.catalog, self.options)
@@ -148,6 +157,14 @@ class TuningAdvisor:
         ]
         if not searchable:
             searchable = pool.all()
+        if seed_missing_indexes:
+            searchable_ids = {id(d) for d in searchable}
+            for descriptor in missing_index_candidates(
+                    self.database, self.catalog):
+                pooled = pool.add(descriptor)
+                if id(pooled) not in searchable_ids:
+                    searchable.append(pooled)
+                    searchable_ids.add(id(pooled))
 
         enumerator = GreedyEnumerator(
             workload, session, self.catalog,

@@ -254,6 +254,41 @@ class CandidateGenerator:
         return self._csi_size_cache[key]
 
 
+def missing_index_candidates(database, catalog: Catalog
+                             ) -> List[IndexDescriptor]:
+    """B+ tree candidates seeded from the missing-index DMV.
+
+    Each accumulated :class:`~repro.storage.telemetry.MissingIndexDetails`
+    observation (surfaced as ``dm_db_missing_index_details``) becomes one
+    hypothetical covering B+ tree: equality columns first, then the
+    inequality columns, with the observed output columns as INCLUDE —
+    the same shape SQL Server's missing-index DMVs suggest. Observations
+    for dropped tables or stale columns are skipped.
+    """
+    out: List[IndexDescriptor] = []
+    for detail in database.telemetry.missing_indexes():
+        if not database.has_table(detail.table_name):
+            continue
+        keys = [c for c in detail.key_columns]
+        if not keys:
+            continue
+        table = database.table(detail.table_name)
+        known = {column.name for column in table.schema.columns}
+        if any(key not in known for key in keys):
+            continue
+        include = [c for c in detail.included_columns
+                   if c in known and c not in keys]
+        include = include[:MAX_INCLUDED_COLUMNS]
+        stats = catalog.stats(detail.table_name)
+        column_bytes = catalog.column_bytes(detail.table_name)
+        out.append(hypothetical_btree(
+            detail.table_name, keys, include, n_rows=stats.row_count,
+            column_bytes=column_bytes,
+            name=f"mi_{detail.table_name}_{'_'.join(keys)[:40]}",
+        ))
+    return out
+
+
 def select_candidates_per_query(
     workload: Workload,
     generator: CandidateGenerator,

@@ -108,6 +108,11 @@ class Executor:
     ) -> QueryResult:
         """Parse, plan, and run one statement."""
         statement = parse(sql, params)
+        # Every user statement advances the deterministic logical clock;
+        # telemetry stamps recorded while it runs carry its sequence
+        # number (observation-only: no modeled cost).
+        self.database.telemetry.clock.advance()
+        self._refresh_system_views(statement)
         bound = self.binder.bind(statement)
         ctx = ExecutionContext(
             cost_model=self.database.cost_model, cold=cold,
@@ -168,6 +173,29 @@ class Executor:
             raise ExecutionError("plan() supports SELECT statements")
         return self._optimizer(memory_grant_bytes, cold).optimize(bound)
 
+    def _refresh_system_views(self, statement) -> None:
+        """Rematerialize any ``dm_*`` system view the statement references
+        so it binds and executes against current telemetry."""
+        from repro.engine.dmv import (
+            SYSTEM_VIEW_NAMES,
+            materialize_system_views,
+        )
+        refs = getattr(statement, "table_refs", None)
+        if refs is None:
+            table = getattr(statement, "table", None)
+            refs = [table] if table is not None else []
+        referenced = [
+            ref.table for ref in refs
+            if ref.table in SYSTEM_VIEW_NAMES
+            and not self.database.has_table(ref.table)
+        ]
+        if not referenced:
+            return
+        for name in materialize_system_views(
+                self.database, names=referenced,
+                query_store=self.query_store):
+            self.catalog.invalidate(name)
+
     def _optimizer(self, memory_grant_bytes: Optional[int],
                    cold: bool, concurrent_queries: int = 1) -> Optimizer:
         options = CostingOptions(
@@ -175,7 +203,8 @@ class Executor:
             memory_grant_bytes=memory_grant_bytes,
             concurrent_queries=concurrent_queries,
         )
-        return Optimizer(self.catalog, options)
+        return Optimizer(self.catalog, options,
+                         telemetry=self.database.telemetry)
 
     def _run_select(self, bound: BoundSelect, ctx: ExecutionContext,
                     concurrent_queries: int) -> QueryResult:
@@ -249,6 +278,7 @@ class Executor:
                 scanned += 1
                 row = table.get_row(rid)
                 ctx.charge_random_read(1)
+                table.primary.usage.record_lookup()
                 if _take(rid, row):
                     break
             ctx.charge_serial_cpu(

@@ -56,6 +56,12 @@ from repro.optimizer.plans import (
 )
 from repro.sql.binder import BoundSelect, JoinEdge
 
+#: A sargable predicate must be at least this selective (estimated
+#: fraction of rows) before an unserved access path is reported to
+#: ``dm_db_missing_index_details`` — scans over unselective predicates
+#: are the right plan, not a missing index.
+MISSING_INDEX_SELECTIVITY_THRESHOLD = 0.25
+
 
 class Optimizer:
     """Plans bound SELECT statements against a catalog."""
@@ -66,6 +72,7 @@ class Optimizer:
         options: Optional[CostingOptions] = None,
         extra_indexes: Optional[Dict[str, List[IndexDescriptor]]] = None,
         design_override: Optional[Dict[str, List[IndexDescriptor]]] = None,
+        telemetry=None,
     ):
         self.catalog = catalog
         self.options = options or CostingOptions(
@@ -74,6 +81,11 @@ class Optimizer:
         self.extra_indexes = extra_indexes or {}
         #: Full replacement design per table (what-if configurations).
         self.design_override = design_override or {}
+        #: Optional :class:`~repro.storage.telemetry.Telemetry` sink for
+        #: missing-index observations. The Executor passes the database's
+        #: telemetry; what-if sessions and DTA leave it None so
+        #: hypothetical probing never pollutes the DMVs.
+        self.telemetry = telemetry
 
     # ------------------------------------------------------------ surface
     def optimize(self, bound: BoundSelect) -> PlannedQuery:
@@ -145,7 +157,46 @@ class Optimizer:
         if best is None:
             raise OptimizerError(
                 f"no usable access path for table {table.name!r}")
+        self._observe_missing_index(table, ranges, needed, selectivity, best)
         return best
+
+    def _observe_missing_index(self, table, ranges, needed, selectivity,
+                               best) -> None:
+        """Report to ``dm_db_missing_index_details`` when the chosen path
+        settles for a scan despite a selective sargable predicate that no
+        materialized B+ tree can seek.
+
+        Observation-only (never affects the plan or its cost), and active
+        only for real executions: what-if sessions plan with
+        ``extra_indexes``/``design_override`` and no telemetry, so
+        hypothetical probing records nothing.
+        """
+        if self.telemetry is None or self.extra_indexes or self.design_override:
+            return
+        if not ranges or best.access == "seek":
+            return
+        if selectivity > MISSING_INDEX_SELECTIVITY_THRESHOLD:
+            return
+        database = self.catalog.database
+        if database.is_system_view(table.name):
+            return
+        # Served when any materialized B+ tree can seek on a ranged
+        # leading key column — choosing a scan anyway means the index
+        # exists but lost on cost, which is not a missing index.
+        for descriptor in self.catalog.indexes_for(table.name):
+            if descriptor.kind != KIND_BTREE or not descriptor.key_columns:
+                continue
+            if descriptor.key_columns[0] in ranges:
+                return
+        equality = tuple(sorted(
+            c for c, r in ranges.items() if r.is_point))
+        inequality = tuple(sorted(
+            c for c, r in ranges.items() if not r.is_point))
+        included = tuple(
+            c for c in needed if c not in equality and c not in inequality)
+        self.telemetry.record_missing_index(
+            table.name, equality, inequality, included,
+            selectivity=selectivity)
 
     def _cost_one_path(self, alias, descriptor, table_rows, row_bytes,
                        column_bytes, needed, ranges, stats, predicate,

@@ -451,9 +451,18 @@ class Binder:
     def _single_table_scope(self, table: Table) -> _Scope:
         return _Scope([BoundTable(table.name, table)])
 
+    def _dml_target(self, name: str) -> Table:
+        """Resolve a DML target table, rejecting system views (DMVs are
+        read-only; a real table of the same name shadows the view)."""
+        if not self.database.has_table(name):
+            from repro.engine.dmv import SYSTEM_VIEW_NAMES
+            if name in SYSTEM_VIEW_NAMES:
+                raise SqlError(f"system view {name!r} is read-only")
+        return self.database.table(name)
+
     def bind_update(self, stmt: UpdateStmt) -> BoundUpdate:
         """Bind an UPDATE statement into a BoundUpdate."""
-        table = self.database.table(stmt.table.table)
+        table = self._dml_target(stmt.table.table)
         scope = self._single_table_scope(table)
         assignments = []
         for assignment in stmt.assignments:
@@ -469,14 +478,14 @@ class Binder:
 
     def bind_delete(self, stmt: DeleteStmt) -> BoundDelete:
         """Bind a DELETE statement into a BoundDelete."""
-        table = self.database.table(stmt.table.table)
+        table = self._dml_target(stmt.table.table)
         where = (None if stmt.where is None else
                  _qualify_expr(stmt.where, self._single_table_scope(table)))
         return BoundDelete(table, where, stmt.top)
 
     def bind_insert(self, stmt: InsertStmt) -> BoundInsert:
         """Bind an INSERT statement into a BoundInsert."""
-        table = self.database.table(stmt.table.table)
+        table = self._dml_target(stmt.table.table)
         schema = table.schema
         columns = stmt.columns or schema.column_names()
         ordinals = schema.ordinals(columns)

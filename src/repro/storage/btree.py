@@ -34,6 +34,7 @@ from repro.core.errors import StorageError
 from repro.core.schema import TableSchema
 from repro.engine.metrics import ExecutionContext
 from repro.storage.faults import FaultInjector, trip
+from repro.storage.telemetry import IndexUsageStats
 
 Key = Tuple[object, ...]
 Row = Tuple[object, ...]
@@ -431,6 +432,9 @@ class _BTreeIndexBase:
         self.object_id = object_id
         #: Fault injector attached by the owning Table (None standalone).
         self.faults: Optional[FaultInjector] = None
+        #: Cumulative usage counters (dm_db_index_usage_stats); recorded
+        #: only for context-carrying (user) accesses, never charged.
+        self.usage = IndexUsageStats()
         leaf_capacity = max(8, min(512, 8192 // max(1, entry_byte_width)))
         self.tree = BPlusTree(leaf_capacity=leaf_capacity)
 
@@ -461,6 +465,22 @@ class _BTreeIndexBase:
         nbytes = rows_touched * self.entry_byte_width
         ctx.charge_btree_scan_read(nbytes)
         ctx.record_data_read(nbytes)
+
+    def _record_range_access(
+        self,
+        ctx: Optional[ExecutionContext],
+        low: Optional[Key],
+        high: Optional[Key],
+    ) -> None:
+        """Classify a user range access: open bounds on both ends are a
+        scan, anything bounded is a seek. Context-free (internal) reads
+        are not user accesses and record nothing."""
+        if ctx is None:
+            return
+        if low is None and high is None:
+            self.usage.record_scan()
+        else:
+            self.usage.record_seek()
 
 
 class PrimaryBTreeIndex(_BTreeIndexBase):
@@ -564,6 +584,7 @@ class PrimaryBTreeIndex(_BTreeIndexBase):
         padded so that inclusive/exclusive semantics apply per key prefix.
         """
         self._charge_traversal(ctx)
+        self._record_range_access(ctx, low, high)
         low_key, high_key = _pad_prefix_bounds(low, high, low_inclusive, high_inclusive)
         rows = 0
         for key, row in self.tree.scan_range(
@@ -575,6 +596,8 @@ class PrimaryBTreeIndex(_BTreeIndexBase):
 
     def scan(self, ctx: Optional[ExecutionContext] = None) -> Iterator[Tuple[int, Row]]:
         """Full ordered scan of the leaf chain."""
+        if ctx is not None:
+            self.usage.record_scan()
         rows = 0
         for key, row in self.tree.items():
             rows += 1
@@ -695,6 +718,7 @@ class SecondaryBTreeIndex(_BTreeIndexBase):
         """Yields (rid, covered_values) where covered_values follows
         ``self.covered_columns`` order."""
         self._charge_traversal(ctx)
+        self._record_range_access(ctx, low, high)
         low_key, high_key = _pad_prefix_bounds(low, high, low_inclusive, high_inclusive)
         rows = 0
         for key, payload in self.tree.scan_range(

@@ -40,6 +40,7 @@ from repro.engine.metrics import ExecutionContext
 from repro.storage.compression import CompressedRowGroup, compress_rowgroup
 from repro.storage.faults import FaultInjector, trip
 from repro.storage.segment_cache import DecodedSegmentCache
+from repro.storage.telemetry import IndexUsageStats
 
 Row = Tuple[object, ...]
 
@@ -115,6 +116,12 @@ class ColumnstoreIndex:
         self.segment_cache: Optional[DecodedSegmentCache] = None
         #: Fault injector attached by the owning Table (None standalone).
         self.faults: Optional[FaultInjector] = None
+        #: Cumulative usage counters (dm_db_index_usage_stats), including
+        #: the per-index segments_scanned/segments_skipped attribution;
+        #: recorded only for context-carrying (user) accesses, never
+        #: charged. Survives rebuild/reorganize: those swap the index's
+        #: internals, not the index object.
+        self.usage = IndexUsageStats()
         if columns is None:
             columns = schema.columnstore_columns()
         self.columns = list(columns)
@@ -651,14 +658,18 @@ class ColumnstoreIndex:
         cache = self.segment_cache
         if cache is not None and not cache.enabled:
             cache = None
+        if ctx is not None:
+            self.usage.record_scan()
         for group_index, state in enumerate(self._groups):
             group = state.group
             if elimination_ranges and self._eliminated(group, elimination_ranges):
                 if ctx is not None:
                     ctx.metrics.segments_skipped += 1
+                    self.usage.segments_skipped += 1
                 continue
             if ctx is not None:
                 ctx.metrics.segments_read += 1
+                self.usage.segments_scanned += 1
             use_encoded = encoded_execution_enabled()
             data = {}
             miss_bytes = 0

@@ -20,6 +20,7 @@ from repro.storage.segment_cache import (
     DecodedSegmentCache,
 )
 from repro.storage.table import Table
+from repro.storage.telemetry import Telemetry
 
 
 class Database:
@@ -51,7 +52,17 @@ class Database:
         #: :mod:`repro.storage.faults`) is how robustness tests simulate
         #: storage failures mid-statement.
         self.fault_injector = FaultInjector()
+        #: Always-on observation-only telemetry: the logical statement
+        #: clock plus missing-index observations. Per-index usage
+        #: counters live on the index structures themselves.
+        self.telemetry = Telemetry()
         self._tables: Dict[str, Table] = {}
+        #: Materialized system-view snapshots (dm_* tables) registered by
+        #: :mod:`repro.engine.dmv`. Resolved by :meth:`table` as a
+        #: fallback so DMVs bind/plan/execute like ordinary tables, but
+        #: excluded from :meth:`tables`/:meth:`table_names`/sizing so no
+        #: workload, advisor, or figure path ever sees them.
+        self._system_views: Dict[str, Table] = {}
 
     # ------------------------------------------------------------ tables
     def create_table(self, schema: TableSchema) -> Table:
@@ -59,7 +70,8 @@ class Database:
         if schema.name in self._tables:
             raise CatalogError(f"table {schema.name!r} already exists")
         table = Table(schema, segment_cache=self.segment_cache,
-                      fault_injector=self.fault_injector)
+                      fault_injector=self.fault_injector,
+                      usage_clock=self.telemetry.clock)
         self._tables[schema.name] = table
         return table
 
@@ -73,15 +85,40 @@ class Database:
         del self._tables[name]
 
     def table(self, name: str) -> Table:
-        """Look up a table by name (CatalogError when absent)."""
+        """Look up a table by name (CatalogError when absent).
+
+        System-view snapshots (``dm_*``) resolve as a fallback, so a real
+        table always shadows a DMV of the same name."""
         try:
             return self._tables[name]
+        except KeyError:
+            pass
+        try:
+            return self._system_views[name]
         except KeyError:
             raise CatalogError(f"no table named {name!r}") from None
 
     def has_table(self, name: str) -> bool:
         """Whether a table with this name exists."""
         return name in self._tables
+
+    # ------------------------------------------------------- system views
+    def register_system_view(self, table: Table) -> None:
+        """Install (or replace) one materialized system-view snapshot.
+
+        Called by :mod:`repro.engine.dmv` on each rematerialization; the
+        snapshot participates in name resolution only, never in
+        :meth:`tables`, sizing, or workload enumeration."""
+        self._system_views[table.name] = table
+
+    def is_system_view(self, name: str) -> bool:
+        """Whether ``name`` resolves to a registered system view (and is
+        not shadowed by a real table)."""
+        return name in self._system_views and name not in self._tables
+
+    def system_view_names(self) -> List[str]:
+        """Names of the registered system views, in registration order."""
+        return list(self._system_views)
 
     def tables(self) -> List[Table]:
         """All tables, in creation order."""

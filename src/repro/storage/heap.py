@@ -11,6 +11,7 @@ from repro.core.errors import StorageError
 from repro.core.schema import TableSchema
 from repro.engine.metrics import ExecutionContext
 from repro.storage.faults import FaultInjector, trip
+from repro.storage.telemetry import IndexUsageStats
 
 Row = Tuple[object, ...]
 
@@ -28,6 +29,9 @@ class HeapFile:
         self._rows: Dict[int, Row] = {}
         #: Fault injector attached by the owning Table (None standalone).
         self.faults: Optional[FaultInjector] = None
+        #: Cumulative usage counters (dm_db_index_usage_stats); recorded
+        #: only for context-carrying (user) accesses, never charged.
+        self.usage = IndexUsageStats()
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -78,6 +82,7 @@ class HeapFile:
             raise StorageError(f"rid {rid} not in heap {self.name!r}") from None
         if ctx is not None:
             ctx.charge_random_read(1)
+            self.usage.record_lookup()
         return row
 
     def scan(self, ctx: Optional[ExecutionContext] = None) -> Iterator[Tuple[int, Row]]:
@@ -86,5 +91,6 @@ class HeapFile:
             nbytes = len(self._rows) * self.schema.row_byte_width
             ctx.charge_btree_scan_read(nbytes)
             ctx.record_data_read(nbytes)
+            self.usage.record_scan()
         for rid in sorted(self._rows):
             yield rid, self._rows[rid]

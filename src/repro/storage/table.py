@@ -29,6 +29,7 @@ from repro.storage.btree import PrimaryBTreeIndex, SecondaryBTreeIndex
 from repro.storage.columnstore import ColumnstoreIndex
 from repro.storage.faults import FaultInjector, InjectedFault, trip
 from repro.storage.heap import HeapFile
+from repro.storage.telemetry import LogicalClock
 
 Row = Tuple[object, ...]
 PrimaryStructure = Union[HeapFile, PrimaryBTreeIndex, ColumnstoreIndex]
@@ -39,7 +40,8 @@ class Table:
     """A named table with a schema, rows, and physical design."""
 
     def __init__(self, schema: TableSchema, segment_cache=None,
-                 fault_injector: Optional[FaultInjector] = None):
+                 fault_injector: Optional[FaultInjector] = None,
+                 usage_clock: Optional[LogicalClock] = None):
         self.schema = schema
         self.name = schema.name
         self._rows: Dict[int, Row] = {}
@@ -48,8 +50,13 @@ class Table:
         #: attached to every index structure built on this table. None
         #: (standalone tables) disables injection entirely.
         self.fault_injector = fault_injector
+        #: Shared logical clock handed down by the owning Database's
+        #: Telemetry (standalone tables get a private one); attached to
+        #: every index's usage counters for last_user_* stamps.
+        self.usage_clock = usage_clock or LogicalClock()
         self.primary: PrimaryStructure = HeapFile(f"{self.name}_heap", schema)
         self.primary.faults = fault_injector
+        self.primary.usage.clock = self.usage_clock
         self.secondary_indexes: Dict[str, SecondaryIndex] = {}
         #: Shared decoded-segment cache handed down by the owning
         #: Database; attached to every columnstore built on this table.
@@ -135,6 +142,7 @@ class Table:
             index_name, self.schema, key_columns, self.rows_with_rids()
         )
         index.faults = self.fault_injector
+        index.usage.clock = self.usage_clock
         self._evict_cached_segments(self.primary)
         self.primary = index
         return index
@@ -165,6 +173,7 @@ class Table:
         )
         index.segment_cache = self.segment_cache
         index.faults = self.fault_injector
+        index.usage.clock = self.usage_clock
         self._evict_cached_segments(self.primary)
         self.primary = index
         return index
@@ -173,6 +182,7 @@ class Table:
         """Convert the primary structure back to a heap file."""
         heap = HeapFile(f"{self.name}_heap", self.schema)
         heap.faults = self.fault_injector
+        heap.usage.clock = self.usage_clock
         for rid, row in self.iter_rows():
             heap.insert(rid, row)
         self._evict_cached_segments(self.primary)
@@ -192,6 +202,7 @@ class Table:
             included_columns=included_columns,
         )
         index.faults = self.fault_injector
+        index.usage.clock = self.usage_clock
         self.secondary_indexes[name] = index
         return index
 
@@ -238,6 +249,7 @@ class Table:
         )
         index.segment_cache = self.segment_cache
         index.faults = self.fault_injector
+        index.usage.clock = self.usage_clock
         self.secondary_indexes[name] = index
         return index
 
@@ -285,6 +297,16 @@ class Table:
             if isinstance(exc, InjectedFault):
                 ctx.metrics.faults_injected += 1
 
+    def _record_dml(self, ctx: Optional[ExecutionContext]) -> None:
+        """Record one maintaining DML statement on every index's usage
+        counters. Statement-granular like SQL Server's ``user_updates``
+        (a multi-row statement counts once); only context-carrying (user)
+        statements count, and only after the statement committed."""
+        if ctx is None:
+            return
+        for structure in self.all_indexes:
+            structure.usage.record_update()
+
     @staticmethod
     def _undo_delete(structure, rid: int, row: Row) -> None:
         """Compensate one applied delete. Columnstores need
@@ -318,6 +340,7 @@ class Table:
             self._note_rollback(ctx, exc)
             raise
         self.modification_counter += 1
+        self._record_dml(ctx)
         return rid
 
     def bulk_load(self, rows: Sequence[Sequence[object]]) -> List[int]:
@@ -359,6 +382,7 @@ class Table:
             raise
         del self._rows[rid]
         self.modification_counter += 1
+        self._record_dml(ctx)
         return row
 
     def delete_rids(self, rids: Sequence[int],
@@ -393,6 +417,8 @@ class Table:
         for rid in rows:
             del self._rows[rid]
         self.modification_counter += len(rows)
+        if rows:
+            self._record_dml(ctx)
         return len(rows)
 
     def update_rid(self, rid: int, new_row: Sequence[object],
@@ -446,6 +472,8 @@ class Table:
         for rid, _, new_row in triples:
             self._rows[rid] = new_row
         self.modification_counter += len(triples)
+        if triples:
+            self._record_dml(ctx)
         return len(triples)
 
     def fetch_columns(self, rid: int, ordinals: Sequence[int],
@@ -455,6 +483,9 @@ class Table:
         if ctx is not None:
             ctx.charge_random_read(1)
             ctx.charge_serial_cpu(ctx.cost_model.seek_cpu_ms)
+            # Bookmark lookups count against the primary structure, as in
+            # sys.dm_db_index_usage_stats.
+            self.primary.usage.record_lookup()
         row = self.get_row(rid)
         return tuple(row[i] for i in ordinals)
 
@@ -468,6 +499,7 @@ class Table:
         if ctx is not None and rids:
             ctx.charge_random_read(len(rids))
             ctx.charge_serial_cpu(len(rids) * ctx.cost_model.seek_cpu_ms)
+            self.primary.usage.record_lookups(len(rids))
         get_row = self.get_row
         return [tuple(row[i] for i in ordinals)
                 for row in map(get_row, rids)]

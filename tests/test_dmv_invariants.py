@@ -1,0 +1,173 @@
+"""Invariant tests reconciling the DMV telemetry with independent
+ground truth after a mixed DML+query workload:
+
+* per-index ``segments_scanned``/``segments_skipped`` sums equal the
+  per-statement ``QueryMetrics`` totals (the per-index attribution adds
+  a dimension to the counters, never changes their sum);
+* ``user_updates`` is statement-granular and identical across every
+  index of the maintained table;
+* the logical clock equals the number of executed statements;
+* ``dm_db_column_store_row_group_physical_stats`` matches the
+  columnstore's actual rowgroup state, and live-row accounting agrees
+  with both ``Table.row_count`` and the CHECKDB-style checker.
+"""
+
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.dmv import rowgroup_rows, snapshot
+from repro.engine.executor import Executor
+from repro.storage.checker import check_database, check_table
+from repro.storage.database import Database
+
+
+def build_database(n_rows: int = 6000) -> Database:
+    database = Database()
+    orders = database.create_table(TableSchema("orders", [
+        Column("o_id", INT, nullable=False),
+        Column("o_cust", INT, nullable=False),
+        Column("o_status", varchar(1)),
+        Column("o_amt", INT),
+    ]))
+    orders.bulk_load([
+        (i, i % 211, "NPS"[i % 3], (i * 7) % 10_000) for i in range(n_rows)
+    ])
+    orders.set_primary_btree(["o_id"])
+    orders.create_secondary_columnstore("csi_orders", rowgroup_size=1024)
+    orders.create_secondary_btree("ix_cust", ["o_cust"])
+    return database
+
+
+MIXED_WORKLOAD = [
+    # Queries spanning seeks, scans, lookups, and segment elimination.
+    "SELECT sum(o_amt) FROM orders WHERE o_id BETWEEN 100 AND 220",
+    "SELECT o_status, sum(o_amt) t FROM orders GROUP BY o_status",
+    "SELECT count(*) c FROM orders WHERE o_cust = 17",
+    "SELECT sum(o_amt) FROM orders WHERE o_amt < 500",
+    # DML interleaved with reads.
+    "UPDATE TOP (300) orders SET o_amt += 1 WHERE o_id >= 1000",
+    "SELECT sum(o_amt) FROM orders WHERE o_id BETWEEN 1000 AND 1100",
+    "DELETE TOP (250) FROM orders WHERE o_cust = 3",
+    "INSERT INTO orders VALUES (90001, 3, 'N', 123), "
+    "(90002, 4, 'P', 456)",
+    "SELECT o_status, count(*) c FROM orders GROUP BY o_status",
+    "UPDATE TOP (100) orders SET o_status = 'S' WHERE o_amt < 200",
+    "SELECT sum(o_amt) FROM orders WHERE o_amt > 9000",
+]
+
+N_DML = 4  # UPDATE, DELETE, INSERT, UPDATE
+
+
+class TestUsageReconciliation:
+    def run_workload(self):
+        database = build_database()
+        executor = Executor(database)
+        metrics = [executor.execute(sql).metrics for sql in MIXED_WORKLOAD]
+        return database, metrics
+
+    def test_segment_counters_reconcile_with_metrics_totals(self):
+        database, metrics = self.run_workload()
+        total_read = sum(m.segments_read for m in metrics)
+        total_skipped = sum(m.segments_skipped for m in metrics)
+        indexes = [
+            structure for table in database.tables()
+            for structure in table.all_indexes
+        ]
+        assert sum(i.usage.segments_scanned for i in indexes) == total_read
+        assert sum(i.usage.segments_skipped for i in indexes) == total_skipped
+        # The workload must actually have exercised both counters for
+        # the reconciliation to mean anything.
+        assert total_read > 0
+        assert total_skipped > 0
+
+    def test_user_updates_is_statement_granular_and_uniform(self):
+        database, _ = self.run_workload()
+        for structure in database.table("orders").all_indexes:
+            assert structure.usage.user_updates == N_DML, structure.name
+
+    def test_logical_clock_counts_statements(self):
+        database, metrics = self.run_workload()
+        assert database.telemetry.clock.now == len(MIXED_WORKLOAD)
+        assert len(metrics) == len(MIXED_WORKLOAD)
+
+    def test_last_used_stamps_bounded_by_clock(self):
+        database, _ = self.run_workload()
+        clock = database.telemetry.clock.now
+        for structure in database.table("orders").all_indexes:
+            usage = structure.usage
+            for stamp in (usage.last_user_seek, usage.last_user_scan,
+                          usage.last_user_lookup, usage.last_user_update):
+                assert 0 <= stamp <= clock
+
+    def test_telemetry_recording_has_zero_modeled_cost(self):
+        # The same workload with recording implicitly on (it always is)
+        # must produce metrics identical to the seed behaviour: no
+        # charge_* call is reachable from any recording path, so the
+        # modeled totals depend only on the plans. Guard by executing
+        # twice on identical databases and comparing modeled totals.
+        database_a = build_database()
+        database_b = build_database()
+        totals_a = [Executor(database_a).execute(sql).metrics.cpu_ms
+                    for sql in MIXED_WORKLOAD]
+        totals_b = [Executor(database_b).execute(sql).metrics.cpu_ms
+                    for sql in MIXED_WORKLOAD]
+        assert totals_a == totals_b
+
+
+class TestRowgroupReconciliation:
+    def test_view_matches_columnstore_state_and_checker(self):
+        database = build_database()
+        executor = Executor(database)
+        for sql in MIXED_WORKLOAD:
+            executor.execute(sql)
+        orders = database.table("orders")
+        csi = orders.index_by_name("csi_orders")
+        # Fold buffered deletes so live-row accounting is exact.
+        csi.compact_delete_buffer()
+
+        rows = [r for r in rowgroup_rows(database)
+                if r[1] == "csi_orders"]
+        compressed = [r for r in rows if r[3] == "COMPRESSED"]
+        open_groups = [r for r in rows if r[3] == "OPEN"]
+        assert len(compressed) == csi.n_rowgroups
+        for ordinal, row in enumerate(compressed):
+            state = csi._groups[ordinal]
+            assert row[4] == state.group.n_rows
+            assert row[5] == state.n_deleted
+            assert row[8] == csi.delta_rows
+            assert row[9] == csi.delete_buffer_rows
+        assert len(open_groups) == (1 if csi.delta_rows else 0)
+
+        live_from_view = (
+            sum(r[4] - r[5] for r in compressed) + csi.delta_rows)
+        assert live_from_view == csi.n_rows
+        assert csi.n_rows == orders.row_count
+
+        check = check_table(orders)
+        assert check.ok, check.summary()
+
+    def test_fragmentation_column_matches_index_property(self):
+        database = build_database()
+        executor = Executor(database)
+        for sql in MIXED_WORKLOAD:
+            executor.execute(sql)
+        csi = database.table("orders").index_by_name("csi_orders")
+        rows = [r for r in rowgroup_rows(database) if r[1] == "csi_orders"]
+        assert rows
+        for row in rows:
+            assert float(row[10]) == round(csi.fragmentation, 6)
+
+    def test_snapshot_consistent_with_database_after_workload(self):
+        database = build_database()
+        executor = Executor(database)
+        for sql in MIXED_WORKLOAD:
+            executor.execute(sql)
+        snap = snapshot(database)
+        usage = {(r["table_name"], r["index_name"]): r
+                 for r in snap["dm_db_index_usage_stats"]}
+        for table in database.tables():
+            for structure in table.all_indexes:
+                row = usage[(table.name, structure.name)]
+                assert row["user_seeks"] == structure.usage.user_seeks
+                assert row["user_scans"] == structure.usage.user_scans
+                assert row["user_updates"] == structure.usage.user_updates
+        assert check_database(database).ok

@@ -1,0 +1,186 @@
+"""Fragmentation audit: walk a columnstore through its full DML
+lifecycle — inserts landing in the delta store, the tuple mover
+compressing them, deletes buffering then folding into delete bitmaps,
+and a final rebuild — and at every stage reconcile what
+``dm_db_column_store_row_group_physical_stats`` reports against the
+index's real state and the CHECKDB-style consistency checker.
+"""
+
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT
+from repro.engine.dmv import build_view
+from repro.engine.executor import Executor
+from repro.storage.checker import check_table
+from repro.storage.database import Database
+
+ROWGROUP = 512
+
+
+def build_database(n_rows: int = 2048) -> Database:
+    database = Database()
+    events = database.create_table(TableSchema("events", [
+        Column("e_id", INT, nullable=False),
+        Column("e_kind", INT, nullable=False),
+        Column("e_val", INT),
+    ]))
+    events.bulk_load([(i, i % 7, i * 11) for i in range(n_rows)])
+    events.set_primary_btree(["e_id"])
+    events.create_secondary_columnstore("csi_events",
+                                        rowgroup_size=ROWGROUP)
+    return database
+
+
+def view_rows(database, index_name):
+    """Rowgroup view rows for one index, via the materializer."""
+    table = build_view("dm_db_column_store_row_group_physical_stats",
+                       database)
+    return [row for _, row in table.iter_rows() if row[1] == index_name]
+
+
+def audit(database, index_name="csi_events", table_name="events"):
+    """Assert the view is a faithful physical audit of the index."""
+    table = database.table(table_name)
+    csi = table.index_by_name(index_name)
+    rows = view_rows(database, index_name)
+    compressed = [r for r in rows if r[3] == "COMPRESSED"]
+    open_rows = [r for r in rows if r[3] == "OPEN"]
+
+    assert len(compressed) == csi.n_rowgroups
+    for ordinal, row in enumerate(compressed):
+        state = csi._groups[ordinal]
+        assert row[2] == ordinal
+        assert row[4] == state.group.n_rows
+        assert row[5] == state.n_deleted
+        assert row[6] == max(0, ROWGROUP - state.group.n_rows)  # trimmed
+        assert row[7] == state.group.size_bytes()
+        assert row[8] == csi.delta_rows
+        assert row[9] == csi.delete_buffer_rows
+        assert float(row[10]) == round(csi.fragmentation, 6)
+    # The delta store surfaces as exactly one OPEN rowgroup when non-empty.
+    assert len(open_rows) == (1 if csi.delta_rows else 0)
+    if open_rows:
+        assert open_rows[0][2] == csi.n_rowgroups
+        assert open_rows[0][4] == csi.delta_rows
+
+    check = check_table(table)
+    assert check.ok, check.summary()
+    return csi, compressed
+
+
+class TestLifecycleAudit:
+    def test_full_dml_lifecycle(self):
+        database = build_database()
+        executor = Executor(database)
+        events = database.table("events")
+        csi = events.index_by_name("csi_events")
+        groups_before = csi.n_rowgroups
+
+        # Stage 1: inserts land in the delta store (OPEN rowgroup).
+        executor.execute(
+            "INSERT INTO events VALUES (100001, 1, 5), (100002, 2, 6), "
+            "(100003, 3, 7)")
+        assert csi.delta_rows == 3
+        audit(database)
+
+        # Stage 2: the tuple mover compresses the delta store.
+        csi.move_tuples()
+        assert csi.delta_rows == 0
+        assert csi.n_rowgroups == groups_before + 1
+        audit(database)
+
+        # Stage 3: deletes buffer on a secondary CSI; fragmentation
+        # rises before any bitmap is touched.
+        executor.execute("DELETE TOP (60) FROM events WHERE e_kind = 2")
+        assert csi.delete_buffer_rows == 60
+        frag_buffered = csi.fragmentation
+        assert frag_buffered > 0
+        audit(database)
+
+        # Stage 4: compaction folds the buffer into delete bitmaps;
+        # fragmentation is unchanged (dead is dead, wherever recorded).
+        csi.compact_delete_buffer()
+        assert csi.delete_buffer_rows == 0
+        csi2, compressed = audit(database)
+        assert sum(r[5] for r in compressed) == 60
+        assert abs(csi.fragmentation - frag_buffered) < 1e-12
+
+        # Stage 5: rebuild drops the dead rows for good.
+        usage_before = (csi.usage.user_scans, csi.usage.user_updates)
+        csi.rebuild()
+        assert csi.fragmentation == 0.0
+        _, compressed = audit(database)
+        assert sum(r[5] for r in compressed) == 0
+        live = sum(r[4] for r in compressed)
+        assert live == events.row_count
+        # Usage counters survive the rebuild (SQL Server 2016 SP2+).
+        assert (csi.usage.user_scans, csi.usage.user_updates) == usage_before
+
+    def test_update_lifecycle_shadows_then_reorganize(self):
+        database = build_database()
+        executor = Executor(database)
+        events = database.table("events")
+        csi = events.index_by_name("csi_events")
+
+        # Updates of compressed rows on a secondary CSI buffer a delete
+        # of the old copy and insert the new one into the delta store.
+        executor.execute("UPDATE TOP (40) events SET e_val += 1 "
+                         "WHERE e_kind = 5")
+        assert csi.delta_rows == 40
+        assert csi.delete_buffer_rows == 40
+        audit(database)
+
+        # REORGANIZE = tuple-move + compaction in one maintenance pass.
+        csi.reorganize()
+        assert csi.delta_rows == 0
+        assert csi.delete_buffer_rows == 0
+        audit(database)
+
+    def test_primary_columnstore_lifecycle(self):
+        database = Database()
+        events = database.create_table(TableSchema("events", [
+            Column("e_id", INT, nullable=False),
+            Column("e_kind", INT, nullable=False),
+            Column("e_val", INT),
+        ]))
+        events.bulk_load([(i, i % 5, i) for i in range(2000)])
+        events.set_primary_columnstore(rowgroup_size=ROWGROUP)
+        executor = Executor(database)
+
+        executor.execute("DELETE TOP (30) FROM events WHERE e_kind = 1")
+        executor.execute(
+            "INSERT INTO events VALUES (5001, 1, 9), (5002, 2, 8)")
+        csi = events.primary
+        # Primary CSI deletes go straight to the bitmaps (no buffer).
+        assert csi.delete_buffer_rows == 0
+        assert csi.delta_rows == 2
+        audit(database, index_name=csi.name)
+
+        csi.rebuild()
+        assert csi.fragmentation == 0.0
+        audit(database, index_name=csi.name)
+
+    def test_audit_matches_through_repeated_churn(self):
+        database = build_database(4096)
+        executor = Executor(database)
+        events = database.table("events")
+        csi = events.index_by_name("csi_events")
+        next_id = 200_000
+        for round_no in range(4):
+            executor.execute(
+                f"INSERT INTO events VALUES ({next_id}, 1, 1), "
+                f"({next_id + 1}, 2, 2)")
+            next_id += 2
+            executor.execute(
+                f"DELETE TOP (35) FROM events WHERE e_kind = {round_no}")
+            executor.execute(
+                "UPDATE TOP (25) events SET e_val += 1 "
+                f"WHERE e_kind = {round_no + 1}")
+            audit(database)
+            if round_no == 1:
+                csi.move_tuples()
+                audit(database)
+            if round_no == 2:
+                csi.compact_delete_buffer()
+                audit(database)
+        csi.rebuild()
+        audit(database)
