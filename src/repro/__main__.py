@@ -434,6 +434,65 @@ def _cmd_monitor(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.server.frontend import serve
+    from repro.server.session import SessionManager
+    from repro.server.bench import build_ch_database
+
+    database = build_ch_database(n_warehouses=args.warehouses)
+    manager = SessionManager(
+        database,
+        morsel_workers=args.morsel_workers,
+        io_replay_scale=args.io_replay_scale,
+    )
+    mode = ("morsel-parallel" if args.morsel_workers
+            else "serial") + (" cold" if args.cold else " hot")
+    print(f"serving CH database ({args.warehouses} warehouses, {mode} "
+          f"scans) on {args.host}:{args.port}")
+    print("protocol: one SQL statement per line in, one JSON object per "
+          "line out; empty line closes the session")
+    try:
+        serve(manager, host=args.host, port=args.port, cold=args.cold)
+    finally:
+        manager.close()
+    return 0
+
+
+def _cmd_bench_serving(args) -> int:
+    import json
+
+    from repro.bench.reporting import format_table
+    from repro.server.bench import run_serving_bench
+
+    report = run_serving_bench(
+        session_counts=tuple(args.sessions),
+        rounds=args.rounds,
+        morsel_workers=args.morsel_workers,
+        io_replay_scale=args.io_replay_scale,
+        fig1_scale=args.fig1_scale,
+        fig1_replay_scale=args.fig1_replay_scale,
+        out_path=args.out,
+    )
+    print(format_table(
+        ["sessions", "scan mode", "statements", "wall s", "QPS"],
+        [(row["sessions"], row["scan_mode"], row["statements"],
+          row["wall_s"], row["qps"]) for row in report["ch_qps"]],
+        title="CH mixed workload, sustained QPS"))
+    fig1 = report["fig1_morsel"]
+    print()
+    print(format_table(
+        ["sel%", "serial ms", "morsel ms", "speedup"],
+        list(zip(fig1["selectivity_pct"], fig1["serial_wall_ms"],
+                 fig1["morsel_wall_ms"], fig1["speedup"])),
+        title=f"Q1 sweep wall clock, {fig1['rows']} rows "
+              f"({fig1['rowgroups']} rowgroups)"))
+    print()
+    print("acceptance: " + json.dumps(report["acceptance"]))
+    if args.out:
+        print(f"report written to {args.out}")
+    return 0
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -508,6 +567,45 @@ def main(argv=None) -> int:
                          help="print the Prometheus text exposition "
                               "instead of the report")
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve a CH database over a line-protocol TCP socket")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=5433)
+    serve.add_argument("--warehouses", type=int, default=2,
+                       help="CH scale (TPC-C warehouses)")
+    serve.add_argument("--morsel-workers", type=int, default=4,
+                       help="morsel-scan worker threads (0 = serial scans)")
+    serve.add_argument("--io-replay-scale", type=float, default=0.0,
+                       help="real ms slept per modeled I/O-wait ms "
+                            "(0 = never sleep)")
+    serve.add_argument("--cold", action="store_true",
+                       help="run client statements cold (charge modeled "
+                            "I/O)")
+
+    bench_serving = sub.add_parser(
+        "bench-serving",
+        help="measure sustained QPS vs session count and morsel-scan "
+             "speedup; write BENCH_serving.json")
+    bench_serving.add_argument("--sessions", type=int, nargs="+",
+                               default=[1, 2, 4, 8],
+                               help="session counts to sweep")
+    bench_serving.add_argument("--rounds", type=int, default=2,
+                               help="CH mix replays per session")
+    bench_serving.add_argument("--morsel-workers", type=int, default=4)
+    bench_serving.add_argument("--io-replay-scale", type=float,
+                               default=250.0,
+                               help="real ms slept per modeled I/O-wait "
+                                    "ms in the QPS runs (restores the "
+                                    "native-engine I/O:CPU ratio)")
+    bench_serving.add_argument("--fig1-scale", type=int, default=10,
+                               help="Q1 sweep rows = scale x 200k")
+    bench_serving.add_argument("--fig1-replay-scale", type=float,
+                               default=4.0,
+                               help="I/O replay scale for the Q1 sweep")
+    bench_serving.add_argument("--out", default="BENCH_serving.json",
+                               help="output JSON path ('' to skip)")
+
     args = parser.parse_args(argv)
     handlers = {
         "demo": _cmd_demo,
@@ -517,6 +615,8 @@ def main(argv=None) -> int:
         "check": _cmd_check,
         "analyze": _cmd_analyze,
         "monitor": _cmd_monitor,
+        "serve": _cmd_serve,
+        "bench-serving": _cmd_bench_serving,
     }
     return handlers[args.command](args)
 

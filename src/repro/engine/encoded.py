@@ -32,16 +32,22 @@ path on or off, which is asserted by the differential test suite.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Iterator, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.storage.compression import Dictionary
 
-#: Process-wide default for whether columnstore scans produce
+#: Process-wide *default* for whether columnstore scans produce
 #: :class:`EncodedColumn` values for dictionary-coded segments. On by
-#: default; the differential tests and the wall-clock benchmark flip it
-#: to compare against the decoded path.
+#: default. This is only the default: every
+#: :class:`~repro.engine.metrics.ExecutionContext` (and therefore every
+#: server session) can override it per statement via its
+#: ``encoded_execution`` flag, so one session's toggle never leaks into
+#: another. Prefer the :func:`encoded_execution` context manager over
+#: :func:`set_encoded_execution` so a raising test can't leave the
+#: process default flipped.
 _ENCODED_EXECUTION = True
 
 #: Dtype used for code arrays carried in batches.
@@ -55,11 +61,38 @@ def encoded_execution_enabled() -> bool:
 
 def set_encoded_execution(enabled: bool) -> bool:
     """Set the process-wide encoded-execution default; returns the
-    previous value (so tests/benchmarks can restore it)."""
+    previous value (so tests/benchmarks can restore it).
+
+    This mutates *process-global* state: in a multi-session server it
+    affects every session whose context carries no per-statement
+    override. Sessions should set
+    :attr:`~repro.engine.metrics.ExecutionContext.encoded_execution`
+    (``Session(encoded_execution=...)``) instead; tests should use the
+    :func:`encoded_execution` context manager, which restores the
+    previous default even when the body raises.
+    """
     global _ENCODED_EXECUTION
     previous = _ENCODED_EXECUTION
     _ENCODED_EXECUTION = bool(enabled)
     return previous
+
+
+@contextmanager
+def encoded_execution(enabled: bool) -> Iterator[None]:
+    """Scoped override of the process-wide encoded-execution default::
+
+        with encoded_execution(False):
+            ...  # decoded path, restored on exit even on error
+
+    The ``finally`` restore is the point: the bare setter left the
+    global flipped whenever a test body failed, leaking the toggle into
+    every later test (and, in a server, into every other session).
+    """
+    previous = set_encoded_execution(enabled)
+    try:
+        yield
+    finally:
+        set_encoded_execution(previous)
 
 
 class EncodedColumn:

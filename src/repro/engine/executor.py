@@ -57,6 +57,11 @@ class QueryResult:
     #: Root of the per-operator span tree recorded while executing (the
     #: synthetic "<statement>" span; operator spans hang beneath it).
     root_span: Optional[OperatorSpan] = None
+    #: Modeled I/O milliseconds already replayed as real wall time by
+    #: morsel workers (see :mod:`repro.server.parallel_scan`); the
+    #: serving layer sleeps only the remainder of ``metrics.io_wait_ms``
+    #: so overlapped waits are never double-counted.
+    replayed_io_ms: float = 0.0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -91,6 +96,15 @@ class Executor:
         #: Optional Query Store recording every execution (Section 3.1's
         #: monitoring methodology). None disables recording.
         self.query_store = query_store
+        #: Per-executor (therefore per-session) encoded-execution
+        #: override threaded into every statement's ExecutionContext;
+        #: None defers to the process default in
+        #: :mod:`repro.engine.encoded`.
+        self.encoded_execution: Optional[bool] = None
+        #: Morsel worker pool for intra-query-parallel columnstore scans
+        #: (:class:`repro.server.parallel_scan.MorselPool`); None keeps
+        #: every scan serial.
+        self.morsel_pool = None
 
     def refresh(self) -> None:
         """Invalidate cached statistics and design descriptors (call after
@@ -117,6 +131,8 @@ class Executor:
         ctx = ExecutionContext(
             cost_model=self.database.cost_model, cold=cold,
             memory_grant_bytes=memory_grant_bytes,
+            encoded_execution=self.encoded_execution,
+            morsel_pool=self.morsel_pool,
         )
         ctx.charge_statement_overhead()
         if isinstance(bound, BoundSelect):
@@ -131,6 +147,7 @@ class Executor:
             raise ExecutionError(f"cannot execute {type(bound).__name__}")
         ctx.finalize_spans()
         result.root_span = ctx.root_span
+        result.replayed_io_ms = ctx.replayed_io_ms
         if self.query_store is not None:
             from repro.engine.query_store import (
                 node_stats_from_span,

@@ -37,6 +37,10 @@ class QueryMetrics:
     memory_peak_bytes: int = 0
     spilled_bytes: int = 0
     lock_wait_ms: float = 0.0
+    #: Portion of ``elapsed_ms`` that is modeled I/O wait (cold reads,
+    #: writes, spills). The serving layer can replay this as real wall
+    #: time so multi-session benchmarks overlap I/O like a real engine.
+    io_wait_ms: float = 0.0
     dop: int = 1
     #: Leaf data-access counts by index kind, for Figure 10
     #: ("percentage of leaf nodes accessing columnstore vs B+ tree").
@@ -78,6 +82,7 @@ class QueryMetrics:
         self.memory_peak_bytes = max(self.memory_peak_bytes, other.memory_peak_bytes)
         self.spilled_bytes += other.spilled_bytes
         self.lock_wait_ms += other.lock_wait_ms
+        self.io_wait_ms += other.io_wait_ms
         self.dop = max(self.dop, other.dop)
         for kind, count in other.leaf_accesses.items():
             self.leaf_accesses[kind] = self.leaf_accesses.get(kind, 0) + count
@@ -193,6 +198,18 @@ class ExecutionContext:
     dop:
         Degree of parallelism for the *current* parallel region; operators
         enter/leave parallel regions via :meth:`charge_parallel_cpu`.
+    encoded_execution:
+        Per-statement override of the dictionary-coded execution path:
+        True/False force it on/off for this statement, None (the default)
+        defers to the process-wide default in :mod:`repro.engine.encoded`.
+        Sessions own this flag so one session's toggle can never leak
+        into another.
+    morsel_pool:
+        Optional :class:`repro.server.parallel_scan.MorselPool`. When set,
+        columnstore scans partition their row groups across the pool's
+        workers (morsel-style intra-query parallelism); None (the
+        default) keeps every scan serial and byte-identical to the
+        single-threaded engine.
     """
 
     def __init__(
@@ -200,6 +217,8 @@ class ExecutionContext:
         cost_model: CostModel = DEFAULT_COST_MODEL,
         cold: bool = False,
         memory_grant_bytes: Optional[int] = None,
+        encoded_execution: Optional[bool] = None,
+        morsel_pool: Optional[object] = None,
     ):
         self.cost_model = cost_model
         self.cold = cold
@@ -208,6 +227,12 @@ class ExecutionContext:
             if memory_grant_bytes is not None
             else cost_model.default_memory_grant_bytes
         )
+        self.encoded_execution = encoded_execution
+        self.morsel_pool = morsel_pool
+        #: Modeled I/O-wait milliseconds already replayed as real wall
+        #: time by morsel workers (so a session replaying the statement's
+        #: remaining I/O wait never double-sleeps).
+        self.replayed_io_ms = 0.0
         self.metrics = QueryMetrics()
         self._memory_in_use = 0
         #: Root of the statement's span tree. Charges made outside any
@@ -282,6 +307,38 @@ class ExecutionContext:
         """The span charges are currently attributed to."""
         return self._span_stack[-1]
 
+    # --------------------------------------------------- morsel workers
+    def encoded_enabled(self) -> bool:
+        """Whether this statement runs the dictionary-coded path: the
+        per-statement override when set, the process default otherwise."""
+        if self.encoded_execution is not None:
+            return self.encoded_execution
+        from repro.engine.encoded import encoded_execution_enabled
+        return encoded_execution_enabled()
+
+    def spawn_worker(self) -> "ExecutionContext":
+        """A fresh context for one morsel worker: same cost model, run
+        temperature, grant and encoded-execution setting, but its own
+        :class:`QueryMetrics` (merged back via
+        :meth:`absorb_worker_metrics`) and no morsel pool — morsel
+        parallelism never nests."""
+        return ExecutionContext(
+            cost_model=self.cost_model,
+            cold=self.cold,
+            memory_grant_bytes=self.memory_grant_bytes,
+            encoded_execution=self.encoded_execution,
+        )
+
+    def absorb_worker_metrics(self, worker: QueryMetrics) -> None:
+        """Fold one morsel worker's metrics into this statement.
+
+        Called on the coordinating thread while the scan operator's span
+        is active, so the worker's charges are attributed to that span by
+        the normal switch accounting — the span-sum == statement-totals
+        invariant holds with parallel scans exactly as without.
+        """
+        self.metrics.merge(worker)
+
     # ------------------------------------------------------------- CPU
     def charge_serial_cpu(self, ms: float) -> None:
         """Serial work: adds to both CPU and elapsed time."""
@@ -325,6 +382,7 @@ class ExecutionContext:
         self.metrics.pages_read += pages
         self.metrics.data_read_mb += pages * cm.page_bytes / MB
         self.metrics.elapsed_ms += pages * cm.random_io_ms_per_page
+        self.metrics.io_wait_ms += pages * cm.random_io_ms_per_page
         # I/O wait consumes negligible CPU.
 
     def charge_btree_scan_read(self, data_bytes: float) -> None:
@@ -336,6 +394,7 @@ class ExecutionContext:
         self.metrics.pages_read += _ceil_pages(data_bytes, cm.page_bytes)
         self.metrics.data_read_mb += mb
         self.metrics.elapsed_ms += mb * cm.btree_scan_io_ms_per_mb
+        self.metrics.io_wait_ms += mb * cm.btree_scan_io_ms_per_mb
 
     def charge_seq_read(self, data_bytes: float) -> None:
         """Large sequential reads (columnstore segments)."""
@@ -346,6 +405,7 @@ class ExecutionContext:
         self.metrics.pages_read += _ceil_pages(data_bytes, cm.page_bytes)
         self.metrics.data_read_mb += mb
         self.metrics.elapsed_ms += mb * cm.seq_io_ms_per_mb
+        self.metrics.io_wait_ms += mb * cm.seq_io_ms_per_mb
 
     def record_data_read(self, data_bytes: float) -> None:
         """Account logical data volume on hot runs (Figure 2(b) reports
@@ -360,6 +420,7 @@ class ExecutionContext:
         mb = data_bytes / MB
         self.metrics.data_written_mb += mb
         self.metrics.elapsed_ms += mb * cm.write_io_ms_per_mb
+        self.metrics.io_wait_ms += mb * cm.write_io_ms_per_mb
 
     # ----------------------------------------------------------- memory
     def acquire_memory(self, nbytes: int) -> bool:
@@ -400,6 +461,7 @@ class ExecutionContext:
         self.metrics.spilled_bytes += nbytes
         self.metrics.data_written_mb += mb
         self.metrics.elapsed_ms += mb * (cm.write_io_ms_per_mb + cm.seq_io_ms_per_mb)
+        self.metrics.io_wait_ms += mb * (cm.write_io_ms_per_mb + cm.seq_io_ms_per_mb)
 
     # ------------------------------------------------------------- misc
     def charge_lock_wait(self, ms: float) -> None:

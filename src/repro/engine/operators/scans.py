@@ -328,29 +328,51 @@ class ColumnstoreScan(_ScanBase):
         return names
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
-        """Run the operator, yielding result batches."""
+        """Run the operator, yielding result batches.
+
+        With a morsel pool on the context, the rowgroup reads fan out
+        across the pool's workers (rowgroup-granular morsels, see
+        :mod:`repro.server.parallel_scan`); worker metric deltas are
+        absorbed into this context while the scan's span is active, so
+        span-sum == statement-totals holds and modeled costs are
+        byte-identical to the serial path.
+        """
         ctx.charge_parallel_startup(self.dop)
-        output_names = _qualify(self.prefix, self._read_columns)
-        total = 0
-        for raw in self.index.scan(
+        pool = ctx.morsel_pool
+        if pool is not None and pool.eligible(self.index):
+            from repro.server.parallel_scan import morsel_scan
+            raw_batches = morsel_scan(self, ctx, pool)
+        else:
+            raw_batches = self.index.scan(
                 self._read_columns, ctx,
                 elimination_ranges=self.pushdown_ranges or None,
-                include_rids=self.include_rids):
+                include_rids=self.include_rids)
+        total = 0
+        for raw in raw_batches:
             total += len(raw)
-            renamed = {}
-            for bare, qualified in zip(self._read_columns, output_names):
-                renamed[qualified] = raw.column(bare)
-            if self.include_rids:
-                renamed[RID_COLUMN] = raw.column(RID_COLUMN)
-            batch = Batch(renamed)
-            if self.residual is not None:
-                mask = eval_batch(self.residual, batch, ctx)
-                batch = batch.filter(mask)
-            if len(batch) > 0:
-                wanted = self.output_columns
-                yield batch.project(wanted)
+            batch = self._postprocess_raw(raw, ctx)
+            if batch is not None:
+                yield batch
         self.charge_rows(ctx, total)
         ctx.metrics.record_leaf_access("csi")
+
+    def _postprocess_raw(self, raw: Batch,
+                         ctx: ExecutionContext) -> Optional[Batch]:
+        """Qualify names, apply the residual, and project one raw batch
+        from the index scan; None when the residual filters it empty."""
+        output_names = _qualify(self.prefix, self._read_columns)
+        renamed = {}
+        for bare, qualified in zip(self._read_columns, output_names):
+            renamed[qualified] = raw.column(bare)
+        if self.include_rids:
+            renamed[RID_COLUMN] = raw.column(RID_COLUMN)
+        batch = Batch(renamed)
+        if self.residual is not None:
+            mask = eval_batch(self.residual, batch, ctx)
+            batch = batch.filter(mask)
+        if len(batch) == 0:
+            return None
+        return batch.project(self.output_columns)
 
     def describe(self) -> str:
         """One-line human-readable summary of this node."""

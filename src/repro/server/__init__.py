@@ -1,0 +1,36 @@
+"""Multi-session serving layer.
+
+This package turns the single-statement engine into something that can
+serve many concurrent clients:
+
+* :mod:`repro.server.session` — :class:`SessionManager` /
+  :class:`Session`: one session per client, each with its own
+  :class:`~repro.engine.executor.Executor`, statement clock stamps, and
+  per-session settings (encoded execution, run temperature).
+* :mod:`repro.server.scheduler` — admission control: a byte-budgeted
+  :class:`MemoryGrantPool` reusing the engine's memory-grant sizing, and
+  a reader/writer :class:`DatabaseLatch` serializing DML against reads.
+* :mod:`repro.server.parallel_scan` — morsel-style intra-query
+  parallelism: :class:`MorselPool` partitions columnstore rowgroups
+  across a thread pool; merged worker metrics are byte-identical to the
+  serial scan's.
+* :mod:`repro.server.frontend` — a line-protocol TCP frontend
+  (``python -m repro serve``).
+* :mod:`repro.server.bench` — the sustained-QPS serving benchmark
+  (``python -m repro bench-serving``) behind ``BENCH_serving.json``.
+
+Shared-state ownership rules (enforced by the bugfixes that shipped with
+this package) are documented in DESIGN.md's "Serving layer" section.
+"""
+
+from repro.server.parallel_scan import MorselPool
+from repro.server.scheduler import AdmissionController, MemoryGrantPool
+from repro.server.session import Session, SessionManager
+
+__all__ = [
+    "AdmissionController",
+    "MemoryGrantPool",
+    "MorselPool",
+    "Session",
+    "SessionManager",
+]

@@ -1,0 +1,206 @@
+"""Admission control for the serving layer.
+
+Two primitives sit between a :class:`~repro.server.session.Session` and
+the engine:
+
+* :class:`MemoryGrantPool` — a byte-budgeted counting semaphore over the
+  engine's existing memory-grant sizing. Every statement asks for its
+  grant (the context's ``memory_grant_bytes``, defaulting to the cost
+  model's ``default_memory_grant_bytes``) before it runs; when the pool
+  is exhausted the statement queues, which is exactly how SQL Server's
+  resource semaphore throttles concurrent memory-hungry queries.
+* :class:`DatabaseLatch` — a reader/writer latch giving SELECTs shared
+  access and DML exclusive access. The storage structures are
+  thread-safe for concurrent *reads* (the shared-state bugfixes in this
+  PR), but a writer mutating a B+ tree or delta store mid-scan is not a
+  supported interleaving, so DML drains readers first. The latch is
+  re-entrant per owner: a session holding it exclusively (an explicit
+  transaction) can keep executing its own statements.
+
+Waits are measured in real wall milliseconds and recorded on the
+*session's* stats — never on :class:`~repro.engine.metrics.QueryMetrics`
+— so admission queuing can never perturb the deterministic modeled
+metrics the figures and differential tests rely on.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from repro.core.errors import ExecutionError
+
+#: Default pool capacity, in multiples of one default memory grant:
+#: enough for a handful of concurrent analytic statements while still
+#: forcing queueing at high session counts.
+DEFAULT_GRANT_CAPACITY_MULTIPLE = 8
+
+
+class MemoryGrantPool:
+    """Byte-budgeted admission pool for statement memory grants."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ExecutionError("grant pool capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._available = capacity_bytes
+        self._cond = threading.Condition()
+        #: Statements admitted / statements that had to queue first.
+        self.grants_admitted = 0
+        self.grant_waits = 0
+        self.total_wait_ms = 0.0
+        self.peak_granted_bytes = 0
+
+    @property
+    def available_bytes(self) -> int:
+        """Bytes currently unreserved."""
+        return self._available
+
+    @contextmanager
+    def grant(self, requested_bytes: int) -> Iterator[int]:
+        """Reserve a grant, queueing until the pool can satisfy it.
+
+        Requests larger than the whole pool are clamped to the pool size
+        (they would otherwise deadlock) — mirroring how the engine's
+        operators already spill when their grant is undersized.
+        """
+        amount = max(1, min(int(requested_bytes), self.capacity_bytes))
+        started = time.perf_counter()
+        with self._cond:
+            waited = False
+            while self._available < amount:
+                waited = True
+                self._cond.wait()
+            self._available -= amount
+            self.grants_admitted += 1
+            if waited:
+                self.grant_waits += 1
+                self.total_wait_ms += (time.perf_counter() - started) * 1000.0
+            granted = self.capacity_bytes - self._available
+            if granted > self.peak_granted_bytes:
+                self.peak_granted_bytes = granted
+        try:
+            yield amount
+        finally:
+            with self._cond:
+                self._available += amount
+                self._cond.notify_all()
+
+
+class DatabaseLatch:
+    """Reader/writer latch over one database, re-entrant per owner.
+
+    ``shared(owner)`` admits any number of concurrent readers;
+    ``exclusive(owner)`` drains readers and other writers first.
+    Writers take priority: once one is waiting, new readers queue behind
+    it so DML cannot starve. An owner already holding the latch
+    exclusively re-enters both modes freely (how statements inside an
+    explicit transaction run). Upgrading shared -> exclusive is not
+    supported and raises instead of deadlocking.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._writer: Optional[object] = None
+        self._writer_depth = 0
+        self._readers: Dict[object, int] = {}
+        self._waiting_writers = 0
+        self.shared_acquires = 0
+        self.exclusive_acquires = 0
+        self.total_wait_ms = 0.0
+
+    @contextmanager
+    def shared(self, owner: object) -> Iterator[None]:
+        """Shared (read) access for ``owner``."""
+        started = time.perf_counter()
+        with self._cond:
+            if self._writer == owner:
+                # Re-entrant under this owner's exclusive hold.
+                self._writer_depth += 1
+                reentrant = True
+            else:
+                reentrant = False
+                while self._writer is not None or (
+                        self._waiting_writers and owner not in self._readers):
+                    self._cond.wait()
+                self._readers[owner] = self._readers.get(owner, 0) + 1
+            self.shared_acquires += 1
+            self.total_wait_ms += (time.perf_counter() - started) * 1000.0
+        try:
+            yield
+        finally:
+            with self._cond:
+                if reentrant:
+                    self._writer_depth -= 1
+                else:
+                    depth = self._readers[owner] - 1
+                    if depth:
+                        self._readers[owner] = depth
+                    else:
+                        del self._readers[owner]
+                self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self, owner: object) -> Iterator[None]:
+        """Exclusive (write) access for ``owner``."""
+        started = time.perf_counter()
+        with self._cond:
+            if self._writer == owner:
+                self._writer_depth += 1
+            else:
+                if owner in self._readers:
+                    raise ExecutionError(
+                        "cannot upgrade a shared latch to exclusive")
+                self._waiting_writers += 1
+                try:
+                    while self._writer is not None or self._readers:
+                        self._cond.wait()
+                finally:
+                    self._waiting_writers -= 1
+                self._writer = owner
+                self._writer_depth = 1
+            self.exclusive_acquires += 1
+            self.total_wait_ms += (time.perf_counter() - started) * 1000.0
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_depth -= 1
+                if self._writer_depth == 0:
+                    self._writer = None
+                self._cond.notify_all()
+
+
+class AdmissionController:
+    """Statement admission: a memory grant plus the right latch mode.
+
+    One controller is owned by a
+    :class:`~repro.server.session.SessionManager` and shared by its
+    sessions; :meth:`admit` wraps every statement execution.
+    """
+
+    def __init__(self, default_grant_bytes: int,
+                 capacity_bytes: Optional[int] = None):
+        if capacity_bytes is None:
+            capacity_bytes = (
+                default_grant_bytes * DEFAULT_GRANT_CAPACITY_MULTIPLE)
+        self.default_grant_bytes = default_grant_bytes
+        self.grants = MemoryGrantPool(capacity_bytes)
+        self.latch = DatabaseLatch()
+
+    @contextmanager
+    def admit(self, owner: object, writes: bool,
+              grant_bytes: Optional[int] = None) -> Iterator[None]:
+        """Admit one statement for ``owner``: reserve its memory grant,
+        then take the latch in the mode its statement class needs."""
+        requested = (grant_bytes if grant_bytes is not None
+                     else self.default_grant_bytes)
+        with self.grants.grant(requested):
+            if writes:
+                with self.latch.exclusive(owner):
+                    yield
+            else:
+                with self.latch.shared(owner):
+                    yield

@@ -633,6 +633,9 @@ class ColumnstoreIndex:
         ctx: Optional[ExecutionContext] = None,
         elimination_ranges: Optional[Dict[str, Tuple[object, object]]] = None,
         include_rids: bool = False,
+        groups: Optional[Sequence[int]] = None,
+        include_delta: bool = True,
+        record_usage: bool = True,
     ) -> Iterator[Batch]:
         """Scan the index in batch mode.
 
@@ -648,6 +651,21 @@ class ColumnstoreIndex:
             exact predicates to the returned batches.
         include_rids:
             Adds the ``__rid__`` column to each batch.
+        groups:
+            Row-group indexes to scan; ``None`` means all. Morsel-parallel
+            scans hand each worker a subset (an empty list is a valid
+            subset: delta-only). Every per-group charge is additive, so a
+            partitioned scan's merged metrics equal the serial scan's.
+        include_delta:
+            Whether to yield the delta-store batch at the end. Morsel
+            workers pass ``False`` — the coordinator reads the delta
+            exactly once.
+        record_usage:
+            Whether to bump the index's DMV usage counters
+            (``user_scans``/``segments_*``). Morsel workers pass
+            ``False``; the coordinator records one scan plus the summed
+            per-worker segment counts so DMV telemetry stays
+            statement-accurate under parallelism.
         """
         for name in columns:
             if name not in self.columns:
@@ -658,19 +676,28 @@ class ColumnstoreIndex:
         cache = self.segment_cache
         if cache is not None and not cache.enabled:
             cache = None
-        if ctx is not None:
+        if ctx is not None and record_usage:
             self.usage.record_scan()
-        for group_index, state in enumerate(self._groups):
+        if ctx is not None:
+            use_encoded = ctx.encoded_enabled()
+        else:
+            use_encoded = encoded_execution_enabled()
+        if groups is None:
+            selected = enumerate(self._groups)
+        else:
+            selected = ((i, self._groups[i]) for i in groups)
+        for group_index, state in selected:
             group = state.group
             if elimination_ranges and self._eliminated(group, elimination_ranges):
                 if ctx is not None:
                     ctx.metrics.segments_skipped += 1
-                    self.usage.segments_skipped += 1
+                    if record_usage:
+                        self.usage.add_segment_counts(0, 1)
                 continue
             if ctx is not None:
                 ctx.metrics.segments_read += 1
-                self.usage.segments_scanned += 1
-            use_encoded = encoded_execution_enabled()
+                if record_usage:
+                    self.usage.add_segment_counts(1, 0)
             data = {}
             miss_bytes = 0
             misses = 0
@@ -735,6 +762,8 @@ class ColumnstoreIndex:
                 batch = batch.filter(mask)
             if len(batch) > 0:
                 yield batch
+        if not include_delta:
+            return
         delta_batch = self._delta_batch(needed, include_rids)
         if delta_batch is not None:
             if ctx is not None:

@@ -30,6 +30,7 @@ During rollback the engine wraps compensating work in
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence
 
@@ -84,6 +85,13 @@ class FaultInjector:
 
     One injector is shared by a database's tables and index structures;
     standalone structures have ``faults = None`` and skip all checks.
+
+    Thread safety: arming, disarming, and hit counting/firing take one
+    re-entrant lock, so one-shot schedules fire exactly once no matter
+    how many sessions race through the point. Rollback masking
+    (:meth:`suspended`) is **per thread** — one session suspending the
+    injector around its undo work must not blind the injector to every
+    other session's mutations.
     """
 
     def __init__(self, enabled: bool = True):
@@ -94,7 +102,8 @@ class FaultInjector:
         #: Faults actually raised per point.
         self.injected: Dict[str, int] = {p: 0 for p in INJECTION_POINTS}
         self._armed: Dict[str, dict] = {}
-        self._suspend_depth = 0
+        self._lock = threading.RLock()
+        self._suspend = threading.local()
 
     # ------------------------------------------------------------ arming
     @staticmethod
@@ -112,7 +121,8 @@ class FaultInjector:
         self._validate(point)
         if on_hit < 1:
             raise StorageError("on_hit must be >= 1")
-        self._armed[point] = {"kind": "nth", "remaining": on_hit}
+        with self._lock:
+            self._armed[point] = {"kind": "nth", "remaining": on_hit}
 
     def arm_probabilistic(self, point: str, probability: float,
                           seed: int = 0) -> None:
@@ -121,35 +131,40 @@ class FaultInjector:
         self._validate(point)
         if not 0.0 <= probability <= 1.0:
             raise StorageError("probability must be within [0, 1]")
-        self._armed[point] = {
-            "kind": "probability",
-            "probability": probability,
-            "rng": random.Random(seed),
-        }
+        with self._lock:
+            self._armed[point] = {
+                "kind": "probability",
+                "probability": probability,
+                "rng": random.Random(seed),
+            }
 
     def arm_script(self, point: str, script: Sequence[bool]) -> None:
         """Consume one ``script`` entry per hit; truthy entries fire.
         The arming disarms itself once the script is exhausted."""
         self._validate(point)
-        self._armed[point] = {"kind": "script", "script": list(script)}
+        with self._lock:
+            self._armed[point] = {"kind": "script", "script": list(script)}
 
     def disarm(self, point: Optional[str] = None) -> None:
         """Disarm one point, or every point when ``point`` is None."""
-        if point is None:
-            self._armed.clear()
-        else:
-            self._validate(point)
-            self._armed.pop(point, None)
+        with self._lock:
+            if point is None:
+                self._armed.clear()
+            else:
+                self._validate(point)
+                self._armed.pop(point, None)
 
     def reset(self) -> None:
         """Disarm everything and zero the counters."""
-        self._armed.clear()
-        self.hits = {p: 0 for p in INJECTION_POINTS}
-        self.injected = {p: 0 for p in INJECTION_POINTS}
+        with self._lock:
+            self._armed.clear()
+            self.hits = {p: 0 for p in INJECTION_POINTS}
+            self.injected = {p: 0 for p in INJECTION_POINTS}
 
     def armed_points(self) -> Sequence[str]:
         """Names of currently armed points."""
-        return tuple(self._armed)
+        with self._lock:
+            return tuple(self._armed)
 
     # ---------------------------------------------------------- counters
     @property
@@ -165,46 +180,56 @@ class FaultInjector:
     # --------------------------------------------------------- execution
     @property
     def active(self) -> bool:
-        """Whether hits are currently being counted / fired."""
-        return self.enabled and self._suspend_depth == 0
+        """Whether hits from *this thread* are counted / fired."""
+        return self.enabled and getattr(self._suspend, "depth", 0) == 0
 
     @contextmanager
     def suspended(self) -> Iterator[None]:
         """Context manager that masks the injector — used around
-        compensating (rollback) work so undo paths cannot fault."""
-        self._suspend_depth += 1
+        compensating (rollback) work so undo paths cannot fault.
+
+        The mask is thread-local: a session rolling back must not
+        suppress fault checks for every other session's foreground
+        mutations (the single shared depth counter did exactly that)."""
+        self._suspend.depth = getattr(self._suspend, "depth", 0) + 1
         try:
             yield
         finally:
-            self._suspend_depth -= 1
+            self._suspend.depth -= 1
 
     def hit(self, point: str) -> None:
-        """Record one arrival at ``point``; raise if an arming fires."""
+        """Record one arrival at ``point``; raise if an arming fires.
+
+        Counting, one-shot decrement, and disarm happen under the lock,
+        so exactly one of N racing sessions consumes an ``arm(...)``."""
         if point not in _POINT_SET:
             raise StorageError(f"unknown injection point {point!r}")
         if not self.active:
             return
-        self.hits[point] += 1
-        arming = self._armed.get(point)
-        if arming is None:
-            return
-        fire = False
-        kind = arming["kind"]
-        if kind == "nth":
-            arming["remaining"] -= 1
-            if arming["remaining"] == 0:
-                fire = True
-                del self._armed[point]
-        elif kind == "probability":
-            fire = arming["rng"].random() < arming["probability"]
-        else:  # scripted
-            if arming["script"]:
-                fire = bool(arming["script"].pop(0))
-            if not arming["script"]:
-                del self._armed[point]
+        with self._lock:
+            self.hits[point] += 1
+            hit_number = self.hits[point]
+            arming = self._armed.get(point)
+            if arming is None:
+                return
+            fire = False
+            kind = arming["kind"]
+            if kind == "nth":
+                arming["remaining"] -= 1
+                if arming["remaining"] == 0:
+                    fire = True
+                    del self._armed[point]
+            elif kind == "probability":
+                fire = arming["rng"].random() < arming["probability"]
+            else:  # scripted
+                if arming["script"]:
+                    fire = bool(arming["script"].pop(0))
+                if not arming["script"]:
+                    del self._armed[point]
+            if fire:
+                self.injected[point] += 1
         if fire:
-            self.injected[point] += 1
-            raise InjectedFault(point, self.hits[point])
+            raise InjectedFault(point, hit_number)
 
 
 def trip(faults: Optional[FaultInjector], point: str) -> None:

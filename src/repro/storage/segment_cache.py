@@ -41,6 +41,7 @@ figure benchmarks are unaffected unless a caller opts in
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Tuple
@@ -104,6 +105,12 @@ class DecodedSegmentCache:
         When False, :meth:`get` always misses without recording stats and
         :meth:`put` is a no-op, so a disabled cache leaves every charge
         and metric exactly as the uncached engine produced them.
+
+    Thread safety: one cache is shared by every session and every morsel
+    worker, so lookup + LRU reordering, insertion + eviction, and the
+    ``hits``/``misses``/``evictions`` counters all run under a single
+    per-cache lock — an unlocked ``move_to_end`` racing a ``popitem``
+    corrupts the ``OrderedDict``, and unlocked ``+=`` undercounts.
     """
 
     def __init__(self, budget_bytes: int = DEFAULT_SEGMENT_CACHE_BUDGET,
@@ -114,6 +121,7 @@ class DecodedSegmentCache:
         self.enabled = enabled
         self._entries: "OrderedDict[SegmentKey, np.ndarray]" = OrderedDict()
         self._bytes = 0
+        self._lock = threading.RLock()
         self.stats = SegmentCacheStats()
 
     # ----------------------------------------------------------- lookups
@@ -136,13 +144,14 @@ class DecodedSegmentCache:
         """
         if not self.enabled:
             return None
-        array = self._entries.get(key)
-        if array is None:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return array
+        with self._lock:
+            array = self._entries.get(key)
+            if array is None:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return array
 
     def put(self, key: SegmentKey, array: np.ndarray) -> int:
         """Cache a decoded array; returns how many entries were evicted.
@@ -156,37 +165,41 @@ class DecodedSegmentCache:
         nbytes = _array_bytes(array)
         if nbytes > self.budget_bytes:
             return 0
-        if key in self._entries:
-            self._bytes -= _array_bytes(self._entries.pop(key))
-        self._entries[key] = array
-        self._bytes += nbytes
-        evicted = 0
-        while self._bytes > self.budget_bytes:
-            _, stale = self._entries.popitem(last=False)
-            self._bytes -= _array_bytes(stale)
-            self.stats.evictions += 1
-            evicted += 1
-        return evicted
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= _array_bytes(self._entries.pop(key))
+            self._entries[key] = array
+            self._bytes += nbytes
+            evicted = 0
+            while self._bytes > self.budget_bytes:
+                _, stale = self._entries.popitem(last=False)
+                self._bytes -= _array_bytes(stale)
+                self.stats.evictions += 1
+                evicted += 1
+            return evicted
 
     # ------------------------------------------------------ invalidation
     def invalidate_object(self, object_id: int) -> int:
         """Drop every cached segment of one index (rebuild/drop); returns
         the number of entries removed. Mirrors
         :meth:`repro.storage.bufferpool.BufferPool.evict_object`."""
-        stale = [key for key in self._entries if key[0] == object_id]
-        for key in stale:
-            self._bytes -= _array_bytes(self._entries.pop(key))
-        self.stats.invalidations += len(stale)
-        return len(stale)
+        with self._lock:
+            stale = [key for key in self._entries if key[0] == object_id]
+            for key in stale:
+                self._bytes -= _array_bytes(self._entries.pop(key))
+            self.stats.invalidations += len(stale)
+            return len(stale)
 
     def clear(self) -> None:
         """Drop every entry and reset all counters."""
-        self._entries.clear()
-        self._bytes = 0
-        self.stats.reset()
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+            self.stats.reset()
 
     def reset_stats(self) -> None:
         """Zero the counters while keeping cached entries resident —
         for back-to-back experiments that want a warm cache but fresh
         hit/miss accounting."""
-        self.stats.reset()
+        with self._lock:
+            self.stats.reset()

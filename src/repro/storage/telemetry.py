@@ -29,33 +29,60 @@ cycle.
 
 from __future__ import annotations
 
+import threading
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+#: How many distinct recent statement stamps each index remembers for
+#: update dedup. Bounds memory; far larger than any realistic number of
+#: statements concurrently maintaining one index.
+_UPDATE_DEDUP_WINDOW = 256
 
 
 class LogicalClock:
-    """A monotonic statement sequence counter.
+    """A monotonic statement sequence counter, safe under concurrent
+    sessions.
 
-    ``now`` is the stamp of the statement currently executing; the
-    executor calls :meth:`advance` once at the start of every statement.
-    Stamp ``0`` means "before any statement" — usage stamps of 0 read as
-    *never used*.
+    The executor calls :meth:`advance` once at the start of every
+    statement; the increment is lock-protected, so two sessions can
+    never claim the same sequence number (the race that made
+    ``user_updates`` double-count). :meth:`advance` also remembers the
+    claimed number in thread-local storage: :attr:`stamp` returns *this
+    thread's* current statement stamp, while :attr:`now` stays the
+    global high-water mark (what DMV snapshots report). Stamp ``0``
+    means "before any statement" — usage stamps of 0 read as *never
+    used*.
     """
 
-    __slots__ = ("_now",)
+    __slots__ = ("_now", "_lock", "_local")
 
     def __init__(self) -> None:
         self._now = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
 
     @property
     def now(self) -> int:
-        """The current statement sequence number."""
+        """The latest statement sequence number issued (global)."""
         return self._now
+
+    @property
+    def stamp(self) -> int:
+        """The stamp of the statement *this thread* is executing.
+
+        Falls back to :attr:`now` for threads that never advanced the
+        clock (internal/system reads), preserving single-session
+        behavior exactly."""
+        return getattr(self._local, "stamp", self._now)
 
     def advance(self) -> int:
         """Start the next statement; returns its sequence number."""
-        self._now += 1
-        return self._now
+        with self._lock:
+            self._now += 1
+            stamp = self._now
+        self._local.stamp = stamp
+        return stamp
 
     def __repr__(self) -> str:
         return f"LogicalClock(now={self._now})"
@@ -81,18 +108,26 @@ class IndexUsageStats:
 
     The owning :class:`~repro.storage.table.Table` attaches the shared
     :class:`LogicalClock` (``clock``); without one, stamps stay 0.
+
+    Thread safety: every recording takes a per-instance lock, and
+    update dedup keys on the *recording session's* statement stamp
+    (``clock.stamp``, thread-local) against a bounded set of recently
+    seen stamps — not a single ``last_user_update`` scalar, which two
+    interleaving sessions would ping-pong into double counting.
     """
 
     __slots__ = (
-        "clock",
+        "clock", "_lock",
         "user_seeks", "user_scans", "user_lookups", "user_updates",
         "last_user_seek", "last_user_scan", "last_user_lookup",
         "last_user_update",
         "segments_scanned", "segments_skipped",
+        "_update_stamps", "_update_stamp_order",
     )
 
     def __init__(self, clock: Optional[LogicalClock] = None) -> None:
         self.clock = clock
+        self._lock = threading.Lock()
         self.user_seeks = 0
         self.user_scans = 0
         self.user_lookups = 0
@@ -103,31 +138,45 @@ class IndexUsageStats:
         self.last_user_update = 0
         self.segments_scanned = 0
         self.segments_skipped = 0
+        self._update_stamps: Set[int] = set()
+        self._update_stamp_order: Deque[int] = deque()
 
     def _stamp(self) -> int:
-        return self.clock.now if self.clock is not None else 0
+        return self.clock.stamp if self.clock is not None else 0
 
     def record_seek(self) -> None:
         """One seek (bounded range access) through the index."""
-        self.user_seeks += 1
-        self.last_user_seek = self._stamp()
+        stamp = self._stamp()
+        with self._lock:
+            self.user_seeks += 1
+            if stamp > self.last_user_seek:
+                self.last_user_seek = stamp
 
     def record_scan(self) -> None:
         """One full scan of the index."""
-        self.user_scans += 1
-        self.last_user_scan = self._stamp()
+        stamp = self._stamp()
+        with self._lock:
+            self.user_scans += 1
+            if stamp > self.last_user_scan:
+                self.last_user_scan = stamp
 
     def record_lookup(self) -> None:
         """One bookmark/RID lookup into this (primary) structure."""
-        self.user_lookups += 1
-        self.last_user_lookup = self._stamp()
+        stamp = self._stamp()
+        with self._lock:
+            self.user_lookups += 1
+            if stamp > self.last_user_lookup:
+                self.last_user_lookup = stamp
 
     def record_lookups(self, n: int) -> None:
         """A batch of ``n`` bookmark lookups (one stamp for the batch)."""
         if n <= 0:
             return
-        self.user_lookups += n
-        self.last_user_lookup = self._stamp()
+        stamp = self._stamp()
+        with self._lock:
+            self.user_lookups += n
+            if stamp > self.last_user_lookup:
+                self.last_user_lookup = stamp
 
     def record_update(self) -> None:
         """One DML statement that maintained this index.
@@ -136,12 +185,33 @@ class IndexUsageStats:
         several internal operations (a multi-row INSERT inserting row by
         row, an UPDATE implemented as delete+insert) still counts once,
         because every recording inside one statement carries the same
-        clock stamp. Without a clock (stamp 0) each call counts."""
+        clock stamp. Dedup is against a bounded window of recently seen
+        stamps so that two sessions' statements interleaving on the same
+        index each count exactly once. Without a clock (stamp 0) each
+        call counts."""
         stamp = self._stamp()
-        if stamp and self.last_user_update == stamp:
+        with self._lock:
+            if stamp:
+                if stamp in self._update_stamps:
+                    return
+                self._update_stamps.add(stamp)
+                self._update_stamp_order.append(stamp)
+                if len(self._update_stamp_order) > _UPDATE_DEDUP_WINDOW:
+                    self._update_stamps.discard(
+                        self._update_stamp_order.popleft())
+            self.user_updates += 1
+            if stamp > self.last_user_update:
+                self.last_user_update = stamp
+
+    def add_segment_counts(self, scanned: int, skipped: int) -> None:
+        """Fold a morsel-parallel scan's summed per-worker segment
+        counts into the per-index attribution (workers record nothing
+        themselves; the coordinator calls this once per statement)."""
+        if scanned == 0 and skipped == 0:
             return
-        self.user_updates += 1
-        self.last_user_update = stamp
+        with self._lock:
+            self.segments_scanned += scanned
+            self.segments_skipped += skipped
 
     @property
     def total_reads(self) -> int:
@@ -150,11 +220,14 @@ class IndexUsageStats:
 
     def reset(self) -> None:
         """Zero every counter and stamp (the clock itself is untouched)."""
-        self.user_seeks = self.user_scans = 0
-        self.user_lookups = self.user_updates = 0
-        self.last_user_seek = self.last_user_scan = 0
-        self.last_user_lookup = self.last_user_update = 0
-        self.segments_scanned = self.segments_skipped = 0
+        with self._lock:
+            self.user_seeks = self.user_scans = 0
+            self.user_lookups = self.user_updates = 0
+            self.last_user_seek = self.last_user_scan = 0
+            self.last_user_lookup = self.last_user_update = 0
+            self.segments_scanned = self.segments_skipped = 0
+            self._update_stamps.clear()
+            self._update_stamp_order.clear()
 
     def __repr__(self) -> str:
         return (
@@ -207,6 +280,7 @@ class Telemetry:
 
     def __init__(self) -> None:
         self.clock = LogicalClock()
+        self._lock = threading.Lock()
         self._missing: Dict[Tuple[str, Tuple[str, ...], Tuple[str, ...]],
                             MissingIndexDetails] = {}
 
@@ -221,26 +295,27 @@ class Telemetry:
         """Fold one optimizer observation into the grouped details."""
         key = (table_name, tuple(equality_columns),
                tuple(inequality_columns))
-        details = self._missing.get(key)
-        if details is None:
-            details = MissingIndexDetails(
-                table_name=table_name,
-                equality_columns=tuple(equality_columns),
-                inequality_columns=tuple(inequality_columns),
-                included_columns=tuple(included_columns),
-            )
-            self._missing[key] = details
-        else:
-            # Widen the included set so the suggestion stays covering.
-            merged = list(details.included_columns)
-            for column in included_columns:
-                if column not in merged:
-                    merged.append(column)
-            details.included_columns = tuple(merged)
-        details.statement_count += 1
-        details.total_selectivity += selectivity
-        details.last_seen = self.clock.now
-        return details
+        with self._lock:
+            details = self._missing.get(key)
+            if details is None:
+                details = MissingIndexDetails(
+                    table_name=table_name,
+                    equality_columns=tuple(equality_columns),
+                    inequality_columns=tuple(inequality_columns),
+                    included_columns=tuple(included_columns),
+                )
+                self._missing[key] = details
+            else:
+                # Widen the included set so the suggestion stays covering.
+                merged = list(details.included_columns)
+                for column in included_columns:
+                    if column not in merged:
+                        merged.append(column)
+                details.included_columns = tuple(merged)
+            details.statement_count += 1
+            details.total_selectivity += selectivity
+            details.last_seen = self.clock.stamp
+            return details
 
     def missing_indexes(self) -> List[MissingIndexDetails]:
         """All observation groups, most-requested first (ties broken by
