@@ -7,8 +7,9 @@ the engine:
   engine's existing memory-grant sizing. Every statement asks for its
   grant (the context's ``memory_grant_bytes``, defaulting to the cost
   model's ``default_memory_grant_bytes``) before it runs; when the pool
-  is exhausted the statement queues, which is exactly how SQL Server's
-  resource semaphore throttles concurrent memory-hungry queries.
+  is exhausted the statement queues FIFO (oldest waiter first), which is
+  exactly how SQL Server's resource semaphore throttles concurrent
+  memory-hungry queries.
 * :class:`DatabaseLatch` — a reader/writer latch giving SELECTs shared
   access and DML exclusive access. The storage structures are
   thread-safe for concurrent *reads* (the shared-state bugfixes in this
@@ -16,6 +17,11 @@ the engine:
   supported interleaving, so DML drains readers first. The latch is
   re-entrant per owner: a session holding it exclusively (an explicit
   transaction) can keep executing its own statements.
+
+Lock ordering is **latch first, grant second** (see
+:meth:`AdmissionController.admit`): a statement never holds pool bytes
+while blocked on the latch, so every grant holder is already executing
+and must eventually release — the pair cannot form a circular wait.
 
 Waits are measured in real wall milliseconds and recorded on the
 *session's* stats — never on :class:`~repro.engine.metrics.QueryMetrics`
@@ -27,8 +33,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Deque, Dict, Iterator, Optional
 
 from repro.core.errors import ExecutionError
 
@@ -47,6 +54,8 @@ class MemoryGrantPool:
         self.capacity_bytes = capacity_bytes
         self._available = capacity_bytes
         self._cond = threading.Condition()
+        #: FIFO ticket queue — admission is strictly oldest-first.
+        self._waiters: Deque[object] = deque()
         #: Statements admitted / statements that had to queue first.
         self.grants_admitted = 0
         self.grant_waits = 0
@@ -60,7 +69,13 @@ class MemoryGrantPool:
 
     @contextmanager
     def grant(self, requested_bytes: int) -> Iterator[int]:
-        """Reserve a grant, queueing until the pool can satisfy it.
+        """Reserve a grant, queueing FIFO until the pool can satisfy it.
+
+        Admission is strictly oldest-first (SQL Server's resource
+        semaphore is FIFO-ordered): a request queues behind every
+        earlier waiter even when enough bytes happen to be free, so a
+        large grant can never be starved by a stream of smaller
+        requests slicing up freed capacity ahead of it.
 
         Requests larger than the whole pool are clamped to the pool size
         (they would otherwise deadlock) — mirroring how the engine's
@@ -69,15 +84,22 @@ class MemoryGrantPool:
         amount = max(1, min(int(requested_bytes), self.capacity_bytes))
         started = time.perf_counter()
         with self._cond:
-            waited = False
-            while self._available < amount:
-                waited = True
-                self._cond.wait()
-            self._available -= amount
-            self.grants_admitted += 1
-            if waited:
+            if self._waiters or self._available < amount:
+                ticket = object()
+                self._waiters.append(ticket)
+                try:
+                    while (self._waiters[0] is not ticket
+                           or self._available < amount):
+                        self._cond.wait()
+                finally:
+                    # Leave the queue on success *and* on interruption,
+                    # and wake the next head either way.
+                    self._waiters.remove(ticket)
+                    self._cond.notify_all()
                 self.grant_waits += 1
                 self.total_wait_ms += (time.perf_counter() - started) * 1000.0
+            self._available -= amount
+            self.grants_admitted += 1
             granted = self.capacity_bytes - self._available
             if granted > self.peak_granted_bytes:
                 self.peak_granted_bytes = granted
@@ -193,14 +215,26 @@ class AdmissionController:
     @contextmanager
     def admit(self, owner: object, writes: bool,
               grant_bytes: Optional[int] = None) -> Iterator[None]:
-        """Admit one statement for ``owner``: reserve its memory grant,
-        then take the latch in the mode its statement class needs."""
+        """Admit one statement for ``owner``: take the latch in the mode
+        its statement class needs, then reserve its memory grant.
+
+        The latch-before-grant ordering is load-bearing. A statement
+        waiting for pool bytes already holds the latch, and every grant
+        holder is past both waits and executing, so grants always drain
+        and the two primitives cannot form a circular wait. The reverse
+        order deadlocks: :meth:`~repro.server.session.Session.transaction`
+        takes the latch
+        exclusively with *no* grant, so statements queued on the latch
+        behind an open transaction would pin the whole pool while the
+        transaction owner's next statement blocked forever on a grant.
+        """
         requested = (grant_bytes if grant_bytes is not None
                      else self.default_grant_bytes)
-        with self.grants.grant(requested):
-            if writes:
-                with self.latch.exclusive(owner):
+        if writes:
+            with self.latch.exclusive(owner):
+                with self.grants.grant(requested):
                     yield
-            else:
-                with self.latch.shared(owner):
+        else:
+            with self.latch.shared(owner):
+                with self.grants.grant(requested):
                     yield

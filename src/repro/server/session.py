@@ -38,29 +38,51 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.core.errors import ExecutionError
+from repro.core.errors import ExecutionError, SqlError
 from repro.engine.executor import Executor, QueryResult
 from repro.optimizer.catalog import Catalog
 from repro.server.parallel_scan import MorselPool
 from repro.server.scheduler import AdmissionController
+from repro.sql.ast import SelectStmt
+from repro.sql.lexer import KEYWORD, LPAREN, tokenize
+from repro.sql.parser import parse
 from repro.storage.database import Database
 
-#: Leading SQL keywords that classify a statement as read-only; anything
-#: else takes the exclusive latch.
-_READ_KEYWORDS = ("select",)
 
+def statement_writes(sql: str, params: Sequence[object] = ()) -> bool:
+    """Whether ``sql`` needs exclusive (write) access.
 
-def statement_writes(sql: str) -> bool:
-    """Whether ``sql`` needs exclusive (write) access."""
-    stripped = sql.lstrip()
-    for keyword in _READ_KEYWORDS:
-        if stripped[:len(keyword)].lower() == keyword:
-            return False
+    Classification comes from the *parsed* statement type — only a
+    :class:`~repro.sql.ast.SelectStmt` is read-only — so leading
+    comments, whitespace, or future read-only syntax can never be
+    lexically misclassified as DML. If the statement does not parse,
+    fall back to the first meaningful token (comments are stripped by
+    the lexer, leading parentheses skipped); anything that is not
+    ``SELECT`` gets the exclusive latch, the safe default for unknown
+    syntax — the executor will surface the real error either way.
+    """
+    try:
+        return not isinstance(parse(sql, params), SelectStmt)
+    except SqlError:
+        pass
+    try:
+        tokens = tokenize(sql)
+    except SqlError:
+        return True
+    for token in tokens:
+        if token.type == LPAREN:
+            continue
+        return not (token.type == KEYWORD and token.value == "select")
     return True
 
 
 class SessionStats:
-    """Per-session counters (real wall-clock, never modeled)."""
+    """Per-session counters.
+
+    All counts are real observed quantities except the two ``*_ms``
+    fields, which aggregate the engine's *modeled* milliseconds (see
+    each field's note) — neither is a wall-clock measurement.
+    """
 
     __slots__ = ("statements", "reads", "writes", "rows_returned",
                  "rows_affected", "errors", "io_replayed_ms",
@@ -73,7 +95,12 @@ class SessionStats:
         self.rows_returned = 0
         self.rows_affected = 0
         self.errors = 0
-        #: Real milliseconds slept replaying modeled I/O wait.
+        #: Scaled modeled I/O-wait milliseconds replayed for this
+        #: session's statements: the session's own remainder sleep plus
+        #: the sum of every morsel worker's replayed wait. Workers
+        #: sleep their shares *concurrently*, so for morsel-parallel
+        #: statements this is modeled work replayed, not wall time
+        #: slept — it can exceed the real elapsed time.
         self.io_replayed_ms = 0.0
         #: Sum of the statements' modeled elapsed_ms (what the figures
         #: would report for the same statements).
@@ -128,7 +155,7 @@ class Session:
         if self.closed:
             raise ExecutionError(f"session {self.session_id} is closed")
         run_cold = self.cold if cold is None else cold
-        writes = statement_writes(sql)
+        writes = statement_writes(sql, params)
         self._executor.encoded_execution = self.encoded_execution
         with self.manager.admission.admit(
                 self.session_id, writes, memory_grant_bytes):

@@ -12,6 +12,7 @@ import dataclasses
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -252,6 +253,17 @@ class TestSessionLayer:
         assert statement_writes("DELETE FROM micro")
         assert statement_writes("INSERT INTO micro (col1) VALUES (1)")
 
+    def test_statement_classification_is_not_lexical(self):
+        """Leading comments/parens must not misclassify a SELECT as DML
+        (classification uses the parsed statement type, not a prefix)."""
+        assert not statement_writes("-- warm cache\nSELECT count(*) FROM micro")
+        assert not statement_writes("(SELECT count(*) FROM micro)")
+        assert not statement_writes(
+            "SELECT count(*) FROM micro WHERE col1 = ?", (1,))
+        assert statement_writes("-- audited\nDELETE FROM micro WHERE col1 = 1")
+        # Unparseable syntax defaults to the exclusive latch.
+        assert statement_writes("???")
+
     def test_per_session_encoded_override(self):
         from repro.core.schema import Column, TableSchema
         from repro.core.types import INT, varchar
@@ -303,6 +315,89 @@ class TestSessionLayer:
                 assert not session.in_transaction
             thread.join()
         assert order == ["txn", "other"]
+
+    def test_transaction_owner_never_deadlocks_on_grant_pool(self):
+        """Regression: statements queued on the latch behind an open
+        transaction must not pin memory grants the transaction owner
+        needs. With the broken grant-then-latch ordering and a pool of
+        exactly one default grant, the owner's execute() would hang
+        forever here."""
+        database = _micro_db(n_rows=2000, rowgroup_size=1024)
+        default = database.cost_model.default_memory_grant_bytes
+        with SessionManager(database,
+                            grant_capacity_bytes=default) as manager:
+            in_txn = threading.Event()
+            owner_done = threading.Event()
+            finished = []
+
+            def owner():
+                with manager.session() as session:
+                    with session.transaction():
+                        in_txn.set()
+                        # Give the readers time to queue on the latch.
+                        time.sleep(0.2)
+                        session.execute("SELECT count(*) FROM micro")
+                        session.execute(
+                            "INSERT INTO micro (col1, col2) VALUES (1, 1)")
+                owner_done.set()
+
+            def reader():
+                in_txn.wait()
+                with manager.session() as session:
+                    session.execute("SELECT count(*) FROM micro")
+                    finished.append(True)
+
+            threads = [threading.Thread(target=owner, daemon=True)]
+            threads += [threading.Thread(target=reader, daemon=True)
+                        for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=30)
+            assert owner_done.is_set(), (
+                "transaction owner deadlocked waiting for a memory grant")
+            assert len(finished) == 3
+            assert not any(thread.is_alive() for thread in threads)
+
+    def test_grant_pool_fifo_prevents_large_request_starvation(self):
+        """A queued large request is served before later small requests
+        even when the small ones would fit in the free bytes."""
+        pool = MemoryGrantPool(capacity_bytes=1000)
+        holding = threading.Event()
+        release = threading.Event()
+        order = []
+
+        def holder():
+            with pool.grant(800):
+                holding.set()
+                release.wait()
+
+        def requester(amount, name):
+            def run():
+                with pool.grant(amount):
+                    order.append(name)
+            return threading.Thread(target=run, daemon=True)
+
+        holder_thread = threading.Thread(target=holder, daemon=True)
+        holder_thread.start()
+        holding.wait()
+        big = requester(900, "big")
+        big.start()
+        deadline = time.monotonic() + 5
+        while len(pool._waiters) < 1 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        small = requester(100, "small")
+        small.start()
+        while len(pool._waiters) < 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert len(pool._waiters) == 2
+        # 200 bytes are free; a non-FIFO pool would admit `small` now.
+        time.sleep(0.1)
+        assert order == []
+        release.set()
+        for thread in (holder_thread, big, small):
+            thread.join(timeout=10)
+        assert order == ["big", "small"]
 
     def test_grant_pool_queues_when_exhausted(self):
         pool = MemoryGrantPool(capacity_bytes=1000)
