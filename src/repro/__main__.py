@@ -91,6 +91,20 @@ def _cmd_demo(_args) -> int:
     advisor = TuningAdvisor(database)
     recommendation = advisor.tune(workload)
     print(recommendation.summary())
+
+    if getattr(_args, "data_dir", None):
+        from repro.storage.recovery import recover, state_digest
+
+        print("\n=== durable storage round trip ===")
+        database.save(_args.data_dir)
+        reopened, report = recover(_args.data_dir)
+        same = state_digest(database) == state_digest(reopened)
+        print(f"saved to {_args.data_dir}, reopened "
+              f"{report.snapshot_pages} pages, consistency check "
+              f"{'clean' if report.check_ok else 'FAILED'}, "
+              f"state {'identical' if same else 'DIVERGED'}")
+        if not (report.check_ok and same):
+            return 1
     return 0
 
 
@@ -435,11 +449,26 @@ def _cmd_monitor(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import os
+
     from repro.server.frontend import serve
     from repro.server.session import SessionManager
     from repro.server.bench import build_ch_database
+    from repro.storage.database import Database
+    from repro.storage.wal import SNAPSHOT_FILENAME
 
-    database = build_ch_database(n_warehouses=args.warehouses)
+    if args.data_dir and os.path.exists(
+            os.path.join(args.data_dir, SNAPSHOT_FILENAME)):
+        # Existing durable directory: crash-recover it and serve that.
+        database = Database.open(args.data_dir)
+        print(database.last_recovery.summary())
+    else:
+        database = build_ch_database(n_warehouses=args.warehouses)
+        if args.data_dir:
+            # Build in memory (fast, unlogged), then snapshot + attach
+            # the WAL: every statement served from here on is durable.
+            database.enable_durability(args.data_dir)
+            print(f"durable: snapshot + WAL in {args.data_dir}")
     manager = SessionManager(
         database,
         morsel_workers=args.morsel_workers,
@@ -454,8 +483,62 @@ def _cmd_serve(args) -> int:
     try:
         serve(manager, host=args.host, port=args.port, cold=args.cold)
     finally:
+        if database.durable:
+            manager.checkpoint()
         manager.close()
+        if database.wal is not None:
+            database.wal.close()
     return 0
+
+
+def _cmd_recover(args) -> int:
+    import json
+
+    from repro.core.errors import RecoveryError
+    from repro.storage.recovery import recover
+
+    try:
+        _, report = recover(args.data_dir)
+    except RecoveryError as exc:
+        print(f"unrecoverable: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=1))
+    else:
+        print(report.summary())
+    return 0 if report.check_ok else 1
+
+
+def _cmd_crashtest(args) -> int:
+    from repro.storage.crashtest import run_chaos
+
+    report = run_chaos(
+        n_random=args.n, seed=args.seed,
+        n_sessions=args.sessions, n_statements=args.statements,
+        out_path=args.out or None, keep_failures=args.keep_failures,
+    )
+    for entry in report["iterations"]:
+        label = entry["crash_point"] or entry["mode"]
+        status = "ok" if entry["ok"] else "FAIL"
+        print(f"  [{entry['iteration']:3d}] {label:16s} "
+              f"exit={entry['child_exit']} {status}")
+        for problem in entry["problems"]:
+            print(f"        - {problem}")
+    print(f"{report['total'] - report['failures']}/{report['total']} "
+          f"iterations recovered to exactly the committed prefix")
+    if args.out:
+        print(f"report written to {args.out}")
+    return 0 if report["ok"] else 1
+
+
+def _cmd_crash_child(args) -> int:
+    from repro.storage.crashtest import run_child
+
+    return run_child(
+        args.data_dir, args.oracle, args.seed, args.sessions,
+        args.statements, crash_point=args.crash_point,
+        crash_hit=args.crash_hit, checkpoint_every=args.checkpoint_every,
+    )
 
 
 def _cmd_bench_serving(args) -> int:
@@ -501,7 +584,10 @@ def main(argv=None) -> int:
                     "Hybrid Physical Designs Important?' (SIGMOD 2018)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("demo", help="quickstart walkthrough")
+    demo = sub.add_parser("demo", help="quickstart walkthrough")
+    demo.add_argument("--data-dir", default=None,
+                      help="also save the final database here, reopen "
+                           "it, and verify the round trip")
 
     micro = sub.add_parser("micro", help="run a micro-benchmark sweep")
     micro.add_argument("--experiment", default="selectivity",
@@ -582,6 +668,46 @@ def main(argv=None) -> int:
     serve.add_argument("--cold", action="store_true",
                        help="run client statements cold (charge modeled "
                             "I/O)")
+    serve.add_argument("--data-dir", default=None,
+                       help="durable storage directory: recover and "
+                            "serve it if it holds a snapshot, else "
+                            "build the CH database and make it durable "
+                            "there (WAL + checkpoint on shutdown)")
+
+    recover = sub.add_parser(
+        "recover",
+        help="crash-recover a durable data directory and report "
+             "(exit 0 clean, 1 checker findings, 2 unrecoverable)")
+    recover.add_argument("data_dir", help="directory with snapshot + WAL")
+    recover.add_argument("--json", action="store_true",
+                         help="print the report as JSON")
+
+    crashtest = sub.add_parser(
+        "crashtest",
+        help="chaos suite: kill a live serving workload mid-statement "
+             "(crash points, SIGKILL, WAL truncation) and verify every "
+             "recovery lands on exactly the committed prefix")
+    crashtest.add_argument("--n", type=int, default=25,
+                           help="randomized iterations after the "
+                                "one-per-crash-point sweep")
+    crashtest.add_argument("--seed", type=int, default=0)
+    crashtest.add_argument("--sessions", type=int, default=3)
+    crashtest.add_argument("--statements", type=int, default=30,
+                           help="statements per session")
+    crashtest.add_argument("--out", default="",
+                           help="write the JSON report here")
+    crashtest.add_argument("--keep-failures", action="store_true",
+                           help="keep the work dirs of failed iterations")
+
+    crash_child = sub.add_parser("crash-child")  # internal: harness child
+    crash_child.add_argument("data_dir")
+    crash_child.add_argument("oracle")
+    crash_child.add_argument("--seed", type=int, default=0)
+    crash_child.add_argument("--sessions", type=int, default=3)
+    crash_child.add_argument("--statements", type=int, default=30)
+    crash_child.add_argument("--crash-point", default=None)
+    crash_child.add_argument("--crash-hit", type=int, default=1)
+    crash_child.add_argument("--checkpoint-every", type=int, default=7)
 
     bench_serving = sub.add_parser(
         "bench-serving",
@@ -617,6 +743,9 @@ def main(argv=None) -> int:
         "monitor": _cmd_monitor,
         "serve": _cmd_serve,
         "bench-serving": _cmd_bench_serving,
+        "recover": _cmd_recover,
+        "crashtest": _cmd_crashtest,
+        "crash-child": _cmd_crash_child,
     }
     return handlers[args.command](args)
 

@@ -50,3 +50,25 @@ class AdvisorError(ReproError):
 class TransactionError(ReproError):
     """Transaction-level failure in the concurrency simulator (deadlock
     victim, write-write conflict under snapshot isolation, etc.)."""
+
+
+class RecoveryError(ReproError):
+    """Crash recovery could not restore a consistent database (corrupt
+    snapshot page, redo against a missing object, checker failure)."""
+
+
+class ProcessAbort(BaseException):
+    """Simulated hard process crash raised by crash-style fault points.
+
+    Deliberately a :class:`BaseException` — not a :class:`ReproError` —
+    so no ``except Exception`` recovery path in the engine can swallow
+    it: it unwinds like a real ``kill -9`` would. In-process crash tests
+    catch it explicitly, abandon the live objects, and reopen from disk;
+    the subprocess harness converts it to ``os._exit``.
+    """
+
+    def __init__(self, point: str, hit_number: int):
+        super().__init__(
+            f"simulated process crash at {point!r} (hit {hit_number})")
+        self.point = point
+        self.hit_number = hit_number

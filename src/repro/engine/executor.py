@@ -137,12 +137,19 @@ class Executor:
         ctx.charge_statement_overhead()
         if isinstance(bound, BoundSelect):
             result = self._run_select(bound, ctx, concurrent_queries)
-        elif isinstance(bound, BoundUpdate):
-            result = self._run_update(bound, ctx)
-        elif isinstance(bound, BoundDelete):
-            result = self._run_delete(bound, ctx)
-        elif isinstance(bound, BoundInsert):
-            result = self._run_insert(bound, ctx)
+        elif isinstance(bound, (BoundUpdate, BoundDelete, BoundInsert)):
+            # On a durable database every DML statement is one WAL
+            # transaction: the redo ops raised by its Table calls buffer
+            # in the scope and hit disk together with the COMMIT before
+            # the statement returns. Failure aborts the scope — nothing
+            # from this statement ever reaches the log.
+            with self._wal_statement():
+                if isinstance(bound, BoundUpdate):
+                    result = self._run_update(bound, ctx)
+                elif isinstance(bound, BoundDelete):
+                    result = self._run_delete(bound, ctx)
+                else:
+                    result = self._run_insert(bound, ctx)
         else:
             raise ExecutionError(f"cannot execute {type(bound).__name__}")
         ctx.finalize_spans()
@@ -389,10 +396,31 @@ class Executor:
 
     def _run_insert(self, bound: BoundInsert,
                     ctx: ExecutionContext) -> QueryResult:
-        for row in bound.rows:
-            bound.table.insert_row(row, ctx)
+        table = bound.table
+        inserted: List[int] = []
+        try:
+            for row in bound.rows:
+                inserted.append(table.insert_row(row, ctx))
+        except BaseException:
+            # Statement atomicity across rows: insert_row already undid
+            # the failing row, compensate the successfully applied
+            # prefix so a multi-row INSERT is all-or-nothing in memory
+            # (its WAL scope aborts, so it must also vanish here).
+            with table._rollback_guard():
+                for rid in reversed(inserted):
+                    table.delete_rid(rid)
+            raise
         return QueryResult(columns=[], rows=[], metrics=ctx.metrics,
                            rows_affected=len(bound.rows))
+
+    def _wal_statement(self):
+        """The WAL statement scope for one DML statement (no-op context
+        on a non-durable database)."""
+        wal = self.database.wal
+        if wal is None:
+            from contextlib import nullcontext
+            return nullcontext()
+        return wal.statement()
 
 
 def _prefix_bounds_for(key_columns: Sequence[str],

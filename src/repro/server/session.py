@@ -296,6 +296,18 @@ class SessionManager:
         """Invalidate shared catalog caches (after design changes/DML)."""
         self.catalog.invalidate()
 
+    def checkpoint(self) -> Optional[str]:
+        """Checkpoint a durable database under the exclusive latch.
+
+        Quiesces every session (snapshotting is not safe against
+        concurrent DML), writes the snapshot, and truncates the WAL.
+        Returns the snapshot path, or None when the database has no
+        durability backend attached."""
+        if not self.database.durable:
+            return None
+        with self.admission.latch.exclusive(owner=0):
+            return self.database.checkpoint()
+
     def close(self) -> None:
         """Close every session and drain the morsel pool."""
         for session in self.active_sessions():

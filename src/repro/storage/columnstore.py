@@ -55,6 +55,17 @@ RID_COLUMN = "__rid__"
 _AUTO_OBJECT_IDS = itertools.count(1)
 
 
+def ensure_object_ids_above(minimum: int) -> None:
+    """Advance the auto object-id counter past ``minimum``.
+
+    Snapshot restore re-creates indexes with their persisted object ids;
+    without this, a later auto-assigned id could collide with a restored
+    one and cross-contaminate the shared segment cache."""
+    global _AUTO_OBJECT_IDS
+    current = next(_AUTO_OBJECT_IDS)
+    _AUTO_OBJECT_IDS = itertools.count(max(current, minimum + 1))
+
+
 class _RowGroupState:
     """A compressed row group plus its delete mask."""
 
@@ -116,6 +127,14 @@ class ColumnstoreIndex:
         self.segment_cache: Optional[DecodedSegmentCache] = None
         #: Fault injector attached by the owning Table (None standalone).
         self.faults: Optional[FaultInjector] = None
+        #: WAL maintenance hook attached by the owning Table when the
+        #: database is durable: called with the op kind ("tuple_move",
+        #: "rebuild", "reorganize", "compact") at each *explicit*
+        #: maintenance commit point. Auto-triggered tuple moves (delta
+        #: reaching the rowgroup threshold mid-DML) are deliberately not
+        #: logged: they are a deterministic consequence of the logged DML
+        #: and replay identically during redo.
+        self.wal_notify = None
         #: Cumulative usage counters (dm_db_index_usage_stats), including
         #: the per-index segments_scanned/segments_skipped attribution;
         #: recorded only for context-carrying (user) accesses, never
@@ -278,7 +297,7 @@ class ColumnstoreIndex:
             ctx.charge_serial_cpu(cm.log_write_ms_per_row)
         if len(self._delta) >= self.rowgroup_size:
             try:
-                self.move_tuples(ctx)
+                self.move_tuples(ctx, _auto=True)
             except BaseException:
                 # The tuple mover mutates nothing until it commits, so
                 # the new row is still in the delta store; removing it
@@ -457,7 +476,7 @@ class ColumnstoreIndex:
                     self.insert(rid, new_row, ctx)
                 reinserted.append(rid)
             if len(self._delta) >= self.rowgroup_size:
-                self.move_tuples(ctx)
+                self.move_tuples(ctx, _auto=True)
         except BaseException:
             for rid in reversed(reinserted):
                 self._remove_live_version(rid)
@@ -489,7 +508,8 @@ class ColumnstoreIndex:
             del self._rid_location[rid]
         self._delete_buffer.discard(rid)
 
-    def move_tuples(self, ctx: Optional[ExecutionContext] = None) -> None:
+    def move_tuples(self, ctx: Optional[ExecutionContext] = None,
+                    _auto: bool = False) -> None:
         """Tuple mover: compress the delta store into a new row group.
 
         Crash-safe: the new row group is built off to the side and only
@@ -525,6 +545,8 @@ class ColumnstoreIndex:
         self._append_group(group)
         self._delta.clear()
         self.invalidate_cached_segments()
+        if not _auto and self.wal_notify is not None:
+            self.wal_notify("tuple_move")
         if ctx is not None:
             cm = ctx.cost_model
             ctx.charge_serial_cpu(len(items) * cm.csi_compress_cpu_ms_per_row)
@@ -580,6 +602,8 @@ class ColumnstoreIndex:
         self._delta = {}
         self._delete_buffer = set()
         self.invalidate_cached_segments()
+        if self.wal_notify is not None:
+            self.wal_notify("rebuild")
         if ctx is not None:
             cm = ctx.cost_model
             ctx.charge_serial_cpu(
@@ -591,8 +615,10 @@ class ColumnstoreIndex:
         """ALTER INDEX ... REORGANIZE: the lightweight maintenance pass —
         run the tuple mover and compact the delete buffer, without
         rewriting compressed row groups."""
-        self.move_tuples(ctx)
-        self.compact_delete_buffer(ctx)
+        self.move_tuples(ctx, _auto=True)
+        self.compact_delete_buffer(ctx, _auto=True)
+        if self.wal_notify is not None:
+            self.wal_notify("reorganize")
 
     @property
     def fragmentation(self) -> float:
@@ -605,7 +631,8 @@ class ColumnstoreIndex:
         dead += len(self._delete_buffer)
         return dead / total
 
-    def compact_delete_buffer(self, ctx: Optional[ExecutionContext] = None) -> None:
+    def compact_delete_buffer(self, ctx: Optional[ExecutionContext] = None,
+                              _auto: bool = False) -> None:
         """Background compaction: fold the delete buffer into the delete
         bitmaps so scans no longer pay the anti-semi join (Section 2).
 
@@ -622,6 +649,8 @@ class ColumnstoreIndex:
         for rid in folded:
             self._fold_buffered_delete(rid)
         self.invalidate_cached_segments()
+        if not _auto and self.wal_notify is not None:
+            self.wal_notify("compact")
         if ctx is not None:
             ctx.charge_serial_cpu(
                 len(folded) * ctx.cost_model.btree_update_cpu_ms_per_row)

@@ -1,0 +1,429 @@
+"""Crash-recovery chaos harness.
+
+The harness proves the durability contract end to end: a live
+multi-session serving workload is killed mid-statement — by armed
+crash-style fault points (:data:`repro.storage.faults.CRASH_POINTS`),
+by a parent-sent SIGKILL at a random moment, or by truncating the WAL
+tail after death — and the directory it leaves behind must recover to
+*exactly the committed prefix* of the workload, checker-clean, with
+recovery idempotent (replaying twice yields byte-identical states).
+
+The oracle protocol
+-------------------
+
+Each child session runs a deterministic statement sequence (a pure
+function of ``(seed, session_id)``) against its own key range of one
+shared table, and appends one fsynced line to an *oracle file* after
+each statement returns — i.e. after its WAL COMMIT is durable. A crash
+can land between the commit and the oracle append, so per session the
+recovered statement count ``L`` must satisfy ``L in {oracle_L,
+oracle_L + 1}`` — never less (a durably committed statement can never
+be lost) and never more (an uncommitted statement can never survive).
+The parent replays the same deterministic sequence through an
+in-memory model and compares the recovered rows against the model
+state after exactly ``L`` statements, so *content*, not just counts,
+must match the committed prefix.
+
+WAL-truncation mode chops the tail of the log after the child dies,
+deliberately destroying committed suffixes: there the lower bound is
+waived (``allow_lost``) but the recovered state must still equal the
+model after *some* prefix — a torn log may lose recent statements but
+can never produce a state no prefix of the history explains.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.faults import CRASH_POINTS
+
+ORACLE_FILENAME = "oracle.txt"
+#: Exit code the child uses for an intentional simulated crash.
+CRASH_EXIT_CODE = 137
+#: Exit code for an *unexpected* child error (test bug, engine bug).
+ERROR_EXIT_CODE = 140
+
+#: Session 9999 is reserved for the parent's post-recovery write probe.
+PROBE_SESSION = 9999
+
+
+# ------------------------------------------------- deterministic workload
+
+def session_statements(seed: int, session_id: int,
+                       n_statements: int) -> Tuple[List[str], List[Dict]]:
+    """The deterministic statement sequence for one session.
+
+    Returns ``(statements, states)`` where ``states[i]`` is the model
+    key->value dict for this session's range after the first ``i``
+    statements — ``len(states) == n_statements + 1``. Both child (to
+    execute) and parent (to verify) call this with the same arguments.
+    """
+    rng = random.Random((seed << 8) ^ session_id)
+    state: Dict[int, int] = {}
+    next_k = 0
+    statements: List[str] = []
+    states: List[Dict[int, int]] = [dict(state)]
+    for _ in range(n_statements):
+        roll = rng.random()
+        if not state or roll < 0.55:
+            k, next_k = next_k, next_k + 1
+            v = rng.randrange(1_000_000)
+            statements.append(
+                f"INSERT INTO kv (session_id, k, v) "
+                f"VALUES ({session_id}, {k}, {v})")
+            state[k] = v
+        elif roll < 0.85:
+            k = rng.choice(sorted(state))
+            v = rng.randrange(1_000_000)
+            statements.append(
+                f"UPDATE kv SET v = {v} "
+                f"WHERE session_id = {session_id} AND k = {k}")
+            state[k] = v
+        else:
+            k = rng.choice(sorted(state))
+            statements.append(
+                f"DELETE FROM kv WHERE session_id = {session_id} "
+                f"AND k = {k}")
+            del state[k]
+        states.append(dict(state))
+    return statements, states
+
+
+# ------------------------------------------------------------- the child
+
+def run_child(data_dir: str, oracle_path: str, seed: int,
+              n_sessions: int, n_statements: int,
+              crash_point: Optional[str] = None, crash_hit: int = 1,
+              checkpoint_every: int = 7) -> int:
+    """Run the killable serving workload (executed in a subprocess).
+
+    Builds a durable database with a hybrid design (clustered B+ tree
+    plus a secondary columnstore, so redo exercises delta stores and
+    delete buffers), then runs ``n_sessions`` concurrent sessions of
+    the deterministic workload through a
+    :class:`~repro.server.session.SessionManager`, with session 0
+    checkpointing every ``checkpoint_every`` statements. A
+    :class:`~repro.core.errors.ProcessAbort` raised by an armed crash
+    point terminates the process with :data:`CRASH_EXIT_CODE`
+    immediately — no cleanup, like a real crash.
+    """
+    from repro import INT, Column, Database, TableSchema
+    from repro.core.errors import ProcessAbort
+    from repro.server.session import SessionManager
+
+    def _die(exc: BaseException) -> None:
+        if isinstance(exc, ProcessAbort):
+            os._exit(CRASH_EXIT_CODE)
+        import traceback
+        traceback.print_exc()
+        os._exit(ERROR_EXIT_CODE)
+
+    threading.excepthook = lambda hook_args: _die(hook_args.exc_value)
+
+    database = Database("crash")
+    table = database.create_table(TableSchema("kv", [
+        Column("session_id", INT, nullable=False),
+        Column("k", INT, nullable=False),
+        Column("v", INT),
+    ]))
+    table.set_primary_btree(["session_id", "k"])
+    table.create_secondary_columnstore("kv_csi", rowgroup_size=64)
+    database.enable_durability(data_dir)
+    if crash_point:
+        database.fault_injector.arm(crash_point, on_hit=crash_hit)
+
+    oracle_lock = threading.Lock()
+    oracle_file = open(oracle_path, "ab", buffering=0)
+
+    def committed(session_id: int, index: int) -> None:
+        # After the statement returned: its COMMIT is already durable,
+        # so the oracle count is a lower bound on the recovered count.
+        with oracle_lock:
+            oracle_file.write(f"{session_id} {index}\n".encode("ascii"))
+            os.fsync(oracle_file.fileno())
+
+    manager = SessionManager(database)
+
+    def run_session(session_id: int) -> None:
+        statements, _ = session_statements(seed, session_id, n_statements)
+        session = manager.session()
+        for index, sql in enumerate(statements):
+            session.execute(sql)
+            committed(session_id, index)
+            if (session_id == 0 and checkpoint_every
+                    and (index + 1) % checkpoint_every == 0):
+                manager.checkpoint()
+
+    threads = [threading.Thread(target=run_session, args=(s,), daemon=True)
+               for s in range(n_sessions)]
+    for thread in threads:
+        thread.start()
+    try:
+        for thread in threads:
+            thread.join()
+    except BaseException as exc:  # pragma: no cover - defensive
+        _die(exc)
+    manager.close()
+    database.wal.close()
+    return 0
+
+
+def _read_oracle(oracle_path: str) -> Dict[int, int]:
+    """Per-session committed statement counts, validating contiguity."""
+    counts: Dict[int, int] = {}
+    try:
+        with open(oracle_path, "rb") as handle:
+            data = handle.read()
+    except FileNotFoundError:
+        return counts
+    for line in data.decode("ascii", errors="replace").splitlines():
+        parts = line.split()
+        if len(parts) != 2:
+            continue  # a torn final oracle line: the statement still
+            # counts as unacknowledged, which the +1 tolerance covers
+        session_id, index = int(parts[0]), int(parts[1])
+        expected = counts.get(session_id, 0)
+        if index != expected:
+            raise AssertionError(
+                f"oracle out of order: session {session_id} logged "
+                f"statement {index}, expected {expected}")
+        counts[session_id] = expected + 1
+    return counts
+
+
+# ---------------------------------------------------------- verification
+
+def verify_recovered(database, oracle_counts: Dict[int, int], seed: int,
+                     n_sessions: int, n_statements: int,
+                     allow_lost: bool = False) -> List[str]:
+    """Check a recovered database against the oracle + model.
+
+    Returns a list of problems (empty means the state is exactly a
+    committed prefix). ``allow_lost`` waives the oracle lower bound
+    (WAL-truncation mode destroys committed suffixes on purpose)."""
+    problems: List[str] = []
+    recovered: Dict[int, Dict[int, int]] = {s: {} for s in range(n_sessions)}
+    if not database.has_table("kv"):
+        # Killed before durability was even enabled: legitimate only if
+        # nothing was ever acknowledged.
+        if any(oracle_counts.values()):
+            problems.append(
+                "oracle has committed statements but the recovered "
+                "database has no kv table")
+        return problems
+    for _, row in database.table("kv").iter_rows():
+        session_id, k, v = row
+        if session_id == PROBE_SESSION:
+            continue
+        if session_id not in recovered:
+            problems.append(f"row for unknown session {session_id}")
+            continue
+        recovered[session_id][k] = v
+    for session_id in range(n_sessions):
+        _, states = session_statements(seed, session_id, n_statements)
+        oracle_count = oracle_counts.get(session_id, 0)
+        if allow_lost:
+            candidates = range(len(states))
+        else:
+            candidates = [oracle_count, oracle_count + 1]
+        matched = None
+        for count in candidates:
+            if count < len(states) and recovered[session_id] == states[count]:
+                matched = count
+                break
+        if matched is None:
+            problems.append(
+                f"session {session_id}: recovered state matches no "
+                f"allowed prefix (oracle={oracle_count}, "
+                f"{len(recovered[session_id])} live keys)")
+    return problems
+
+
+# ------------------------------------------------------- the chaos loop
+
+def _child_command(data_dir: str, oracle_path: str, seed: int,
+                   n_sessions: int, n_statements: int,
+                   crash_point: Optional[str],
+                   crash_hit: int) -> List[str]:
+    command = [
+        sys.executable, "-m", "repro", "crash-child", data_dir, oracle_path,
+        "--seed", str(seed), "--sessions", str(n_sessions),
+        "--statements", str(n_statements), "--crash-hit", str(crash_hit),
+    ]
+    if crash_point:
+        command += ["--crash-point", crash_point]
+    return command
+
+
+#: Plausible on-hit ranges per crash point, tuned to the workload size
+#: (wal_append fires several times per statement, checkpoint_mid once
+#: per table per checkpoint).
+_HIT_RANGES = {
+    "wal_append": (1, 80),
+    "wal_fsync": (1, 40),
+    "checkpoint_mid": (1, 4),
+    "page_flush_torn": (1, 12),
+}
+
+
+def run_chaos(n_random: int = 25, seed: int = 0,
+              n_sessions: int = 3, n_statements: int = 30,
+              out_path: Optional[str] = None,
+              keep_failures: bool = False) -> Dict[str, object]:
+    """Run the full chaos schedule and return the report dict.
+
+    The schedule is one deterministic iteration per crash point (every
+    point provably fires and recovers) followed by ``n_random``
+    randomized iterations mixing armed crash points, parent SIGKILLs at
+    random moments, and post-mortem WAL truncation. Every iteration
+    asserts: recovery succeeds, the checker is clean, the state is
+    exactly a committed prefix (oracle + model), recovery is idempotent
+    (two replays, equal digests), and the recovered directory accepts
+    and persists new writes.
+    """
+    from repro.engine.executor import Executor
+    from repro.storage.database import Database
+    from repro.storage.recovery import recover, state_digest
+
+    rng = random.Random(seed)
+    schedule: List[Tuple[str, Optional[str]]] = [
+        ("point", point) for point in CRASH_POINTS]
+    for _ in range(n_random):
+        mode = rng.choice(("point", "kill", "truncate"))
+        schedule.append(
+            (mode, rng.choice(CRASH_POINTS) if mode == "point" else None))
+
+    iterations: List[Dict[str, object]] = []
+    failures = 0
+    for iteration, (mode, crash_point) in enumerate(schedule):
+        workdir = tempfile.mkdtemp(prefix=f"repro_crash_{iteration}_")
+        data_dir = os.path.join(workdir, "data")
+        oracle_path = os.path.join(workdir, ORACLE_FILENAME)
+        child_seed = seed * 1000 + iteration
+        crash_hit = (rng.randint(*_HIT_RANGES[crash_point])
+                     if crash_point else 1)
+        entry: Dict[str, object] = {
+            "iteration": iteration, "mode": mode,
+            "crash_point": crash_point, "crash_hit": crash_hit,
+            "problems": [],
+        }
+        problems: List[str] = entry["problems"]
+
+        process = subprocess.Popen(
+            _child_command(data_dir, oracle_path, child_seed,
+                           n_sessions, n_statements, crash_point,
+                           crash_hit),
+            stdout=subprocess.DEVNULL, stderr=subprocess.PIPE)
+        if mode in ("kill", "truncate"):
+            # Aim the kill at the live workload, not at interpreter
+            # start-up: wait until a random number of statements have
+            # been acknowledged (or the child exits on its own), then
+            # kill immediately — the SIGKILL lands mid-workload,
+            # somewhere past the target commit.
+            target = rng.randint(1, n_sessions * n_statements)
+            entry["kill_after_statements"] = target
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline and process.poll() is None:
+                try:
+                    with open(oracle_path, "rb") as handle:
+                        if handle.read().count(b"\n") >= target:
+                            break
+                except FileNotFoundError:
+                    pass
+                time.sleep(0.002)
+            process.kill()
+        try:
+            _, stderr = process.communicate(timeout=180)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            _, stderr = process.communicate()
+            problems.append("child timed out")
+        entry["child_exit"] = process.returncode
+        if process.returncode == ERROR_EXIT_CODE:
+            problems.append(
+                "child hit an unexpected error: "
+                + stderr.decode("utf-8", errors="replace")[-2000:])
+
+        allow_lost = False
+        if mode == "truncate":
+            wal_path = os.path.join(data_dir, "wal.log")
+            if os.path.exists(wal_path):
+                size = os.path.getsize(wal_path)
+                if size > 1:
+                    cut = rng.randint(1, min(size, 300))
+                    with open(wal_path, "r+b") as handle:
+                        handle.truncate(size - cut)
+                    entry["wal_bytes_cut"] = cut
+                    allow_lost = True
+
+        if not problems:
+            try:
+                oracle_counts = _read_oracle(oracle_path)
+                entry["oracle_statements"] = sum(oracle_counts.values())
+                first, report = recover(data_dir)
+                entry["recovery"] = report.as_dict()
+                if not report.check_ok:
+                    problems.append(
+                        f"checker findings: {report.check_findings[:5]}")
+                second, _ = recover(data_dir)
+                if state_digest(first) != state_digest(second):
+                    problems.append("recovery is not idempotent: "
+                                    "digests differ between two replays")
+                problems.extend(verify_recovered(
+                    first, oracle_counts, child_seed, n_sessions,
+                    n_statements, allow_lost=allow_lost))
+
+                # The recovered directory must keep working: reopen it
+                # live, write, and find the write after another reopen.
+                # (Skipped when the child died before creating the
+                # table — there is nothing durable to write into.)
+                if first.has_table("kv"):
+                    reopened = Database.open(data_dir)
+                    Executor(reopened).execute(
+                        f"INSERT INTO kv (session_id, k, v) "
+                        f"VALUES ({PROBE_SESSION}, 0, {iteration})")
+                    reopened.wal.close()
+                    final = Database.open(data_dir)
+                    probe = [row for _, row
+                             in final.table("kv").iter_rows()
+                             if row[0] == PROBE_SESSION]
+                    if probe != [(PROBE_SESSION, 0, iteration)]:
+                        problems.append(
+                            f"post-recovery write not durable: {probe!r}")
+                    final.wal.close()
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                problems.append(f"{type(exc).__name__}: {exc}")
+
+        entry["ok"] = not problems
+        if problems:
+            failures += 1
+            if keep_failures:
+                entry["workdir"] = workdir
+            else:
+                shutil.rmtree(workdir, ignore_errors=True)
+        else:
+            shutil.rmtree(workdir, ignore_errors=True)
+        iterations.append(entry)
+
+    report = {
+        "seed": seed,
+        "n_sessions": n_sessions,
+        "n_statements": n_statements,
+        "iterations": iterations,
+        "total": len(iterations),
+        "failures": failures,
+        "ok": failures == 0,
+    }
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(report, handle, indent=1)
+    return report

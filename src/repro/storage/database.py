@@ -8,9 +8,10 @@ its physical design.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Iterator, List, Optional
 
-from repro.core.errors import CatalogError
+from repro.core.errors import CatalogError, StorageError
 from repro.core.schema import TableSchema
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.storage.columnstore import ColumnstoreIndex
@@ -57,6 +58,17 @@ class Database:
         #: counters live on the index structures themselves.
         self.telemetry = Telemetry()
         self._tables: Dict[str, Table] = {}
+        #: Durability backend, both None by default (pure simulator — the
+        #: byte-identical configuration): a directory holding the page
+        #: snapshot + WAL, and the attached
+        #: :class:`~repro.storage.wal.WriteAheadLog`. Set by
+        #: :meth:`enable_durability` / :meth:`open`.
+        self.data_dir: Optional[str] = None
+        self.wal = None
+        #: :class:`~repro.storage.recovery.RecoveryReport` of the
+        #: recovery that produced this database, when it came from
+        #: :meth:`open`.
+        self.last_recovery = None
         #: Materialized system-view snapshots (dm_* tables) registered by
         #: :mod:`repro.engine.dmv`. Resolved by :meth:`table` as a
         #: fallback so DMVs bind/plan/execute like ordinary tables, but
@@ -73,6 +85,14 @@ class Database:
                       fault_injector=self.fault_injector,
                       usage_clock=self.telemetry.clock)
         self._tables[schema.name] = table
+        if self.wal is not None:
+            table.attach_wal(self.wal)
+            from repro.storage.pages import _schema_payload
+            self.wal.log_ops([{
+                "op": "create_table",
+                "name": schema.name,
+                "schema": _schema_payload(schema),
+            }])
         return table
 
     def drop_table(self, name: str) -> None:
@@ -83,6 +103,8 @@ class Database:
             if isinstance(index, ColumnstoreIndex):
                 index.invalidate_cached_segments()
         del self._tables[name]
+        if self.wal is not None:
+            self.wal.log_ops([{"op": "drop_table", "name": name}])
 
     def table(self, name: str) -> Table:
         """Look up a table by name (CatalogError when absent).
@@ -150,3 +172,107 @@ class Database:
                     f"{index.size_bytes() / (1024 * 1024):.2f} MB]"
                 )
         return lines
+
+    # -------------------------------------------------------- durability
+    @property
+    def durable(self) -> bool:
+        """Whether a durability backend (data dir + WAL) is attached."""
+        return self.wal is not None
+
+    def _attach_storage(self, data_dir: str, wal) -> None:
+        """Attach a WAL: every table starts logging its DML/DDL."""
+        self.data_dir = str(data_dir)
+        self.wal = wal
+        for table in self._tables.values():
+            table.attach_wal(wal)
+
+    def save(self, path: Optional[str] = None) -> str:
+        """Write an atomic page snapshot of the current state.
+
+        The snapshot goes to ``<path>/snapshot.db`` via a temp file +
+        fsync + rename, so a crash mid-write can never clobber the
+        previously published snapshot. When a WAL is attached this is a
+        *checkpoint*: the snapshot captures the log's last LSN and the
+        log is truncated afterwards.
+
+        Not safe against concurrent DML — callers must quiesce first
+        (the serving layer checkpoints under the exclusive latch).
+        """
+        from repro.storage.pages import write_snapshot
+        from repro.storage.wal import SNAPSHOT_FILENAME, SNAPSHOT_TMP_FILENAME
+
+        target = path or self.data_dir
+        if target is None:
+            raise StorageError(
+                "Database.save needs a path (no data_dir attached)")
+        os.makedirs(target, exist_ok=True)
+        checkpoint_lsn = self.wal.last_lsn if self.wal is not None else 0
+        tmp = os.path.join(target, SNAPSHOT_TMP_FILENAME)
+        final = os.path.join(target, SNAPSHOT_FILENAME)
+        with open(tmp, "wb") as out:
+            write_snapshot(self, out, checkpoint_lsn=checkpoint_lsn,
+                           faults=self.fault_injector)
+            out.flush()
+            os.fsync(out.fileno())
+        os.replace(tmp, final)
+        if self.wal is not None:
+            self.wal.checkpoint(checkpoint_lsn)
+        return final
+
+    def checkpoint(self) -> str:
+        """Snapshot + WAL reset into the attached data directory."""
+        if self.data_dir is None:
+            raise StorageError("checkpoint needs an attached data_dir")
+        return self.save(self.data_dir)
+
+    def enable_durability(self, data_dir: str, fsync: bool = False) -> None:
+        """Turn this in-memory database durable.
+
+        Writes an initial snapshot of the current state to ``data_dir``
+        and attaches a WAL; every committed statement from here on is
+        durable before it returns. Typical flow: build the workload
+        in memory (fast, unlogged), then enable durability, then serve.
+        """
+        from repro.storage.wal import WAL_FILENAME, WriteAheadLog
+
+        if self.wal is not None:
+            raise StorageError(
+                f"database {self.name!r} is already durable "
+                f"(data_dir={self.data_dir!r})")
+        os.makedirs(data_dir, exist_ok=True)
+        wal_path = os.path.join(data_dir, WAL_FILENAME)
+        if os.path.exists(wal_path):
+            os.remove(wal_path)
+        self.save(data_dir)
+        wal = WriteAheadLog(wal_path, fsync=fsync,
+                            faults=self.fault_injector)
+        wal.checkpoint(0)
+        self._attach_storage(data_dir, wal)
+
+    @classmethod
+    def open(cls, data_dir: str, cost_model: CostModel = DEFAULT_COST_MODEL,
+             fsync: bool = False) -> "Database":
+        """Recover a durable database directory and reattach its WAL.
+
+        Runs full crash recovery (snapshot load + committed-WAL redo +
+        consistency check — see :mod:`repro.storage.recovery`), truncates
+        any torn WAL tail, and returns a database ready to serve and log
+        further statements. The recovery report is available as
+        ``db.last_recovery``.
+        """
+        from repro.storage.recovery import recover
+        from repro.storage.wal import WAL_FILENAME, WriteAheadLog
+
+        database, report = recover(data_dir, cost_model=cost_model)
+        wal_path = os.path.join(data_dir, WAL_FILENAME)
+        if report.torn_tail and os.path.exists(wal_path):
+            with open(wal_path, "r+b") as f:
+                f.truncate(report.wal_valid_bytes)
+        wal = WriteAheadLog(
+            wal_path, fsync=fsync, faults=database.fault_injector,
+            start_lsn=max(report.last_lsn, report.checkpoint_lsn),
+            start_txn=report.last_txn,
+        )
+        database._attach_storage(data_dir, wal)
+        database.last_recovery = report
+        return database

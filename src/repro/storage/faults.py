@@ -29,12 +29,13 @@ During rollback the engine wraps compensating work in
 
 from __future__ import annotations
 
+import os
 import random
 import threading
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence
 
-from repro.core.errors import StorageError
+from repro.core.errors import ProcessAbort, StorageError
 
 #: Catalog of every injection point threaded through the storage layer.
 #: Tests iterate this tuple to prove exhaustive coverage; ``arm``/``hit``
@@ -63,7 +64,33 @@ INJECTION_POINTS = (
     "table.secondary_apply",
 )
 
+#: Crash-style points threaded through the durability layer
+#: (``wal.py`` / ``pages.py``). Unlike the logical points above, firing
+#: one raises :class:`~repro.core.errors.ProcessAbort` — a
+#: ``BaseException`` modelling a hard ``kill -9`` — instead of
+#: :class:`InjectedFault`, so no rollback path can catch it. Kept out of
+#: ``INJECTION_POINTS`` because the exhaustive logical fault sweep
+#: proves all-or-nothing *in-memory* semantics, which a simulated
+#: process death is definitionally outside of.
+CRASH_POINTS = (
+    # Before a WAL record frame is written (a torn half-frame is left
+    # behind, like a power cut mid-append).
+    "wal_append",
+    # After WAL frames are written but before the fsync barrier.
+    "wal_fsync",
+    # Mid-checkpoint, after some snapshot pages are written to the
+    # temp file (the atomic-rename publish never happens).
+    "checkpoint_mid",
+    # While flushing one snapshot page: a torn (truncated) page is left
+    # in the temp file.
+    "page_flush_torn",
+)
+
+ALL_POINTS = INJECTION_POINTS + CRASH_POINTS
+
 _POINT_SET = frozenset(INJECTION_POINTS)
+_ALL_SET = frozenset(ALL_POINTS)
+_CRASH_SET = frozenset(CRASH_POINTS)
 
 
 class InjectedFault(StorageError):
@@ -98,20 +125,26 @@ class FaultInjector:
         #: Master switch: a disabled injector neither counts nor fires.
         self.enabled = enabled
         #: Cumulative hits per point since construction / ``reset``.
-        self.hits: Dict[str, int] = {p: 0 for p in INJECTION_POINTS}
+        self.hits: Dict[str, int] = {p: 0 for p in ALL_POINTS}
         #: Faults actually raised per point.
-        self.injected: Dict[str, int] = {p: 0 for p in INJECTION_POINTS}
+        self.injected: Dict[str, int] = {p: 0 for p in ALL_POINTS}
         self._armed: Dict[str, dict] = {}
         self._lock = threading.RLock()
         self._suspend = threading.local()
+        #: When True, a firing crash point calls ``os._exit(137)``
+        #: instead of raising :class:`ProcessAbort` — the subprocess
+        #: crash harness sets this on its child so a "crash" kills the
+        #: whole process without unwinding, exactly like SIGKILL.
+        self.crash_exit = False
 
     # ------------------------------------------------------------ arming
-    @staticmethod
-    def _validate(point: str) -> None:
-        if point not in _POINT_SET:
+    def _validate(self, point: str) -> None:
+        if point not in _ALL_SET:
+            armed = ", ".join(sorted(self._armed)) or "<none>"
             raise StorageError(
                 f"unknown injection point {point!r}; "
-                f"known points: {', '.join(INJECTION_POINTS)}")
+                f"armed points: {armed}; "
+                f"known points: {', '.join(ALL_POINTS)}")
 
     def arm(self, point: str, on_hit: int = 1) -> None:
         """Fire once on the ``on_hit``-th hit of ``point`` from now.
@@ -145,6 +178,43 @@ class FaultInjector:
         with self._lock:
             self._armed[point] = {"kind": "script", "script": list(script)}
 
+    def scenario(self, points: Dict[str, object]) -> None:
+        """Arm several points in one call (crash-harness convenience).
+
+        ``points`` maps point name to a spec: an ``int`` arms an Nth-hit
+        one-shot (:meth:`arm`), a sequence of booleans arms a script
+        (:meth:`arm_script`), and a dict selects explicitly —
+        ``{"kind": "nth", "on_hit": 3}``,
+        ``{"kind": "probability", "probability": 0.1, "seed": 7}``, or
+        ``{"kind": "script", "script": [...]}``.
+        """
+        for point, spec in points.items():
+            if isinstance(spec, bool):
+                raise StorageError(
+                    f"scenario spec for {point!r} must be an int, "
+                    "sequence, or dict — got a bare bool")
+            if isinstance(spec, int):
+                self.arm(point, on_hit=spec)
+            elif isinstance(spec, dict):
+                kind = spec.get("kind")
+                if kind == "nth":
+                    self.arm(point, on_hit=spec.get("on_hit", 1))
+                elif kind == "probability":
+                    self.arm_probabilistic(
+                        point, spec["probability"], seed=spec.get("seed", 0))
+                elif kind == "script":
+                    self.arm_script(point, spec["script"])
+                else:
+                    raise StorageError(
+                        f"scenario spec for {point!r} has unknown kind "
+                        f"{kind!r}")
+            elif isinstance(spec, (list, tuple)):
+                self.arm_script(point, spec)
+            else:
+                raise StorageError(
+                    f"scenario spec for {point!r} must be an int, "
+                    f"sequence, or dict — got {type(spec).__name__}")
+
     def disarm(self, point: Optional[str] = None) -> None:
         """Disarm one point, or every point when ``point`` is None."""
         with self._lock:
@@ -158,8 +228,8 @@ class FaultInjector:
         """Disarm everything and zero the counters."""
         with self._lock:
             self._armed.clear()
-            self.hits = {p: 0 for p in INJECTION_POINTS}
-            self.injected = {p: 0 for p in INJECTION_POINTS}
+            self.hits = {p: 0 for p in ALL_POINTS}
+            self.injected = {p: 0 for p in ALL_POINTS}
 
     def armed_points(self) -> Sequence[str]:
         """Names of currently armed points."""
@@ -201,9 +271,12 @@ class FaultInjector:
         """Record one arrival at ``point``; raise if an arming fires.
 
         Counting, one-shot decrement, and disarm happen under the lock,
-        so exactly one of N racing sessions consumes an ``arm(...)``."""
-        if point not in _POINT_SET:
-            raise StorageError(f"unknown injection point {point!r}")
+        so exactly one of N racing sessions consumes an ``arm(...)``.
+        Crash-style points (:data:`CRASH_POINTS`) fire
+        :class:`~repro.core.errors.ProcessAbort` — or ``os._exit`` when
+        :attr:`crash_exit` is set — instead of :class:`InjectedFault`."""
+        if point not in _ALL_SET:
+            self._validate(point)
         if not self.active:
             return
         with self._lock:
@@ -229,6 +302,10 @@ class FaultInjector:
             if fire:
                 self.injected[point] += 1
         if fire:
+            if point in _CRASH_SET:
+                if self.crash_exit:
+                    os._exit(137)
+                raise ProcessAbort(point, hit_number)
             raise InjectedFault(point, hit_number)
 
 

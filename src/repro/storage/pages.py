@@ -1,0 +1,694 @@
+"""Struct-packed on-disk page format and database snapshots.
+
+This is the durable half of the storage engine: every in-memory
+structure — heap rows, B+ tree leaf entries, compressed columnstore
+segments and dictionaries — serializes into fixed-header *pages*, and a
+full database snapshot is just a stream of pages written atomically
+(temp file + fsync + rename). The page shape follows the classic
+slotted-page layout the paper's engine assumes (see *Indexes in
+Microsoft SQL Server* in PAPERS.md): a fixed binary header carrying
+page id, page type, LSN, and a CRC32 checksum, followed by a
+self-describing binary payload.
+
+Page header (32 bytes, little-endian)::
+
+    magic      4s   b"RPPG"
+    version    B    format version (currently 1)
+    page_type  B    PT_* constant
+    reserved   H    zero
+    page_id    Q    sequential within the snapshot stream
+    lsn        Q    checkpoint LSN the snapshot captures
+    payload_len I   bytes of payload following the header
+    crc32      I    CRC over (version..payload_len) + payload
+
+The payload is encoded with a small tagged value codec
+(:func:`pack_value` / :func:`unpack_value`) covering exactly the value
+universe the engine stores after validation — ``None``/bool/int/float/
+str/bytes, containers, and 1-D numpy arrays (object arrays element-wise)
+— so numpy segment payloads round-trip bit-exactly.
+
+Snapshot layout: one :data:`PT_CATALOG` page, then per table a
+:data:`PT_TABLE` page, :data:`PT_ROWS` pages chunking the canonical row
+store, and per index a :data:`PT_INDEX` descriptor followed by its data
+pages — :data:`PT_BTREE_LEAF` pages of (key, value) leaf entries for B+
+trees (restored via ``BPlusTree.bulk_load``), and per row group a
+:data:`PT_CSI_GROUP` page (rids, delete bitmap, sort order) plus one
+:data:`PT_CSI_SEGMENT` page per column segment, closed by a
+:data:`PT_CSI_SIDE` page (delta store + delete buffer) for
+columnstores. Heap files carry no data pages: they are rebuilt from the
+row store, which is their definition.
+
+Serialization is deterministic (dicts and sets are emitted in sorted
+order), which is what lets recovery prove idempotence by comparing
+snapshot digests.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+import zlib
+from typing import BinaryIO, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.errors import ProcessAbort, StorageError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import ColumnType, TypeKind
+from repro.storage.btree import BPlusTree, PrimaryBTreeIndex, SecondaryBTreeIndex
+from repro.storage.columnstore import (
+    ColumnstoreIndex,
+    ensure_object_ids_above,
+)
+from repro.storage.compression import ColumnSegment, CompressedRowGroup, Dictionary
+from repro.storage.faults import FaultInjector, trip
+from repro.storage.heap import HeapFile
+
+# ------------------------------------------------------------ page codec
+
+PAGE_MAGIC = b"RPPG"
+PAGE_VERSION = 1
+PAGE_HEADER = struct.Struct("<4sBBHQQII")
+
+PT_CATALOG = 1
+PT_TABLE = 2
+PT_ROWS = 3
+PT_INDEX = 4
+PT_BTREE_LEAF = 5
+PT_CSI_GROUP = 6
+PT_CSI_SEGMENT = 7
+PT_CSI_SIDE = 8
+
+PAGE_TYPE_NAMES = {
+    PT_CATALOG: "catalog",
+    PT_TABLE: "table",
+    PT_ROWS: "rows",
+    PT_INDEX: "index",
+    PT_BTREE_LEAF: "btree_leaf",
+    PT_CSI_GROUP: "csi_group",
+    PT_CSI_SEGMENT: "csi_segment",
+    PT_CSI_SIDE: "csi_side",
+}
+
+#: Rows per PT_ROWS page and leaf entries per PT_BTREE_LEAF page.
+ROWS_PER_PAGE = 2048
+BTREE_ITEMS_PER_PAGE = 1024
+
+# ----------------------------------------------------------- value codec
+
+_T_NONE = 0
+_T_FALSE = 1
+_T_TRUE = 2
+_T_INT = 3
+_T_BIGINT = 4
+_T_FLOAT = 5
+_T_STR = 6
+_T_BYTES = 7
+_T_LIST = 8
+_T_TUPLE = 9
+_T_DICT = 10
+_T_NDARRAY = 11
+_T_OBJARRAY = 12
+
+_I64 = struct.Struct("<q")
+_U32 = struct.Struct("<I")
+_F64 = struct.Struct("<d")
+_INT64_MIN = -(2 ** 63)
+_INT64_MAX = 2 ** 63 - 1
+
+
+def pack_value(value: object, out: bytearray) -> None:
+    """Append the tagged binary encoding of ``value`` to ``out``."""
+    if value is None:
+        out.append(_T_NONE)
+    elif isinstance(value, (bool, np.bool_)):
+        out.append(_T_TRUE if value else _T_FALSE)
+    elif isinstance(value, (int, np.integer)):
+        v = int(value)
+        if _INT64_MIN <= v <= _INT64_MAX:
+            out.append(_T_INT)
+            out += _I64.pack(v)
+        else:
+            raw = str(v).encode("ascii")
+            out.append(_T_BIGINT)
+            out += _U32.pack(len(raw))
+            out += raw
+    elif isinstance(value, (float, np.floating)):
+        out.append(_T_FLOAT)
+        out += _F64.pack(float(value))
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out.append(_T_STR)
+        out += _U32.pack(len(raw))
+        out += raw
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_T_BYTES)
+        out += _U32.pack(len(value))
+        out += bytes(value)
+    elif isinstance(value, np.ndarray):
+        if value.ndim != 1:
+            raise StorageError(
+                f"only 1-D arrays serialize; got shape {value.shape}")
+        if value.dtype == object:
+            out.append(_T_OBJARRAY)
+            out += _U32.pack(len(value))
+            for item in value.tolist():
+                pack_value(item, out)
+        else:
+            dtype = value.dtype.str.encode("ascii")
+            raw = np.ascontiguousarray(value).tobytes()
+            out.append(_T_NDARRAY)
+            out.append(len(dtype))
+            out += dtype
+            out += _U32.pack(len(value))
+            out += raw
+    elif isinstance(value, (list, tuple)):
+        out.append(_T_LIST if isinstance(value, list) else _T_TUPLE)
+        out += _U32.pack(len(value))
+        for item in value:
+            pack_value(item, out)
+    elif isinstance(value, dict):
+        # Sorted by key so serialization is order-independent (the
+        # digest-based idempotence checks depend on this).
+        out.append(_T_DICT)
+        out += _U32.pack(len(value))
+        for key in sorted(value):
+            pack_value(key, out)
+            pack_value(value[key], out)
+    else:
+        raise StorageError(
+            f"value of type {type(value).__name__} cannot be serialized")
+
+
+def unpack_value(buf: bytes, offset: int = 0) -> Tuple[object, int]:
+    """Decode one value at ``offset``; returns (value, next offset)."""
+    try:
+        tag = buf[offset]
+    except IndexError:
+        raise StorageError("truncated value payload") from None
+    offset += 1
+    if tag == _T_NONE:
+        return None, offset
+    if tag == _T_FALSE:
+        return False, offset
+    if tag == _T_TRUE:
+        return True, offset
+    try:
+        if tag == _T_INT:
+            return _I64.unpack_from(buf, offset)[0], offset + 8
+        if tag == _T_FLOAT:
+            return _F64.unpack_from(buf, offset)[0], offset + 8
+        if tag in (_T_BIGINT, _T_STR, _T_BYTES):
+            (length,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            raw = bytes(buf[offset:offset + length])
+            if len(raw) != length:
+                raise StorageError("truncated value payload")
+            offset += length
+            if tag == _T_BIGINT:
+                return int(raw.decode("ascii")), offset
+            if tag == _T_STR:
+                return raw.decode("utf-8"), offset
+            return raw, offset
+        if tag in (_T_LIST, _T_TUPLE):
+            (count,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            items = []
+            for _ in range(count):
+                item, offset = unpack_value(buf, offset)
+                items.append(item)
+            return (items if tag == _T_LIST else tuple(items)), offset
+        if tag == _T_DICT:
+            (count,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            result = {}
+            for _ in range(count):
+                key, offset = unpack_value(buf, offset)
+                val, offset = unpack_value(buf, offset)
+                result[key] = val
+            return result, offset
+        if tag == _T_NDARRAY:
+            dtype_len = buf[offset]
+            offset += 1
+            dtype = np.dtype(buf[offset:offset + dtype_len].decode("ascii"))
+            offset += dtype_len
+            (count,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            nbytes = count * dtype.itemsize
+            raw = bytes(buf[offset:offset + nbytes])
+            if len(raw) != nbytes:
+                raise StorageError("truncated value payload")
+            offset += nbytes
+            return np.frombuffer(raw, dtype=dtype).copy(), offset
+        if tag == _T_OBJARRAY:
+            (count,) = _U32.unpack_from(buf, offset)
+            offset += 4
+            items = []
+            for _ in range(count):
+                item, offset = unpack_value(buf, offset)
+                items.append(item)
+            arr = np.empty(count, dtype=object)
+            arr[:] = items
+            return arr, offset
+    except struct.error:
+        raise StorageError("truncated value payload") from None
+    raise StorageError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------- page framing
+
+class Page:
+    """One decoded page: header fields plus its payload value."""
+
+    __slots__ = ("page_id", "page_type", "lsn", "payload")
+
+    def __init__(self, page_id: int, page_type: int, lsn: int,
+                 payload: object):
+        self.page_id = page_id
+        self.page_type = page_type
+        self.lsn = lsn
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        name = PAGE_TYPE_NAMES.get(self.page_type, str(self.page_type))
+        return f"Page(id={self.page_id}, type={name}, lsn={self.lsn})"
+
+
+def build_page(page_id: int, page_type: int, lsn: int,
+               payload: object) -> bytes:
+    """Serialize one page (header + payload) to bytes."""
+    body = bytearray()
+    pack_value(payload, body)
+    body = bytes(body)
+    meta = struct.pack("<BBQQI", PAGE_VERSION, page_type, page_id, lsn,
+                       len(body))
+    crc = zlib.crc32(meta + body) & 0xFFFFFFFF
+    header = PAGE_HEADER.pack(PAGE_MAGIC, PAGE_VERSION, page_type, 0,
+                              page_id, lsn, len(body), crc)
+    return header + body
+
+
+def parse_page(buf: bytes, offset: int = 0) -> Tuple[Page, int]:
+    """Decode one page at ``offset``, validating magic and checksum."""
+    if offset + PAGE_HEADER.size > len(buf):
+        raise StorageError(
+            f"truncated page header at byte {offset} "
+            f"({len(buf) - offset} of {PAGE_HEADER.size} bytes)")
+    (magic, version, page_type, _reserved, page_id, lsn, payload_len,
+     crc) = PAGE_HEADER.unpack_from(buf, offset)
+    if magic != PAGE_MAGIC:
+        raise StorageError(f"bad page magic at byte {offset}: {magic!r}")
+    if version != PAGE_VERSION:
+        raise StorageError(f"unsupported page version {version}")
+    if _reserved != 0:
+        # Not covered by the CRC, so corruption here must be caught by
+        # its only legal value.
+        raise StorageError(
+            f"page {page_id} reserved header bytes are nonzero")
+    body_start = offset + PAGE_HEADER.size
+    body_end = body_start + payload_len
+    if body_end > len(buf):
+        raise StorageError(
+            f"truncated page {page_id}: payload needs {payload_len} bytes, "
+            f"{len(buf) - body_start} available")
+    body = bytes(buf[body_start:body_end])
+    meta = struct.pack("<BBQQI", version, page_type, page_id, lsn,
+                       payload_len)
+    if zlib.crc32(meta + body) & 0xFFFFFFFF != crc:
+        raise StorageError(f"page {page_id} checksum mismatch")
+    payload, consumed = unpack_value(body, 0)
+    if consumed != len(body):
+        raise StorageError(
+            f"page {page_id} payload has {len(body) - consumed} "
+            "trailing bytes")
+    return Page(page_id, page_type, lsn, payload), body_end
+
+
+# ------------------------------------------------------- snapshot writer
+
+def _schema_payload(schema: TableSchema) -> List[Tuple]:
+    return [
+        (col.name, col.col_type.kind.value, col.col_type.length,
+         col.col_type.scale, col.nullable)
+        for col in schema.columns
+    ]
+
+
+def _schema_from_payload(name: str, columns: List[Tuple]) -> TableSchema:
+    return TableSchema(name, [
+        Column(col_name, ColumnType(TypeKind(kind), length, scale), nullable)
+        for col_name, kind, length, scale, nullable in columns
+    ])
+
+
+def _index_descriptor(table, index) -> Dict[str, object]:
+    desc: Dict[str, object] = {
+        "table": table.name,
+        "name": index.name,
+        "role": "primary" if index is table.primary else "secondary",
+        "object_id": getattr(index, "object_id", 0),
+    }
+    if isinstance(index, HeapFile):
+        desc.update({"kind": "heap", "n_pages": 0})
+    elif isinstance(index, PrimaryBTreeIndex):
+        n_items = len(index.tree)
+        desc.update({
+            "kind": "btree",
+            "key_columns": list(index.key_columns),
+            "included_columns": None,
+            "n_items": n_items,
+            "n_pages": -(-n_items // BTREE_ITEMS_PER_PAGE) if n_items else 0,
+        })
+    elif isinstance(index, SecondaryBTreeIndex):
+        n_items = len(index.tree)
+        desc.update({
+            "kind": "btree",
+            "key_columns": list(index.key_columns),
+            "included_columns": list(index.included_columns),
+            "n_items": n_items,
+            "n_pages": -(-n_items // BTREE_ITEMS_PER_PAGE) if n_items else 0,
+        })
+    elif isinstance(index, ColumnstoreIndex):
+        n_groups = len(index._groups)
+        n_pages = sum(1 + len(state.group.segments)
+                      for state in index._groups) + 1
+        desc.update({
+            "kind": "csi",
+            "is_primary": index.is_primary,
+            "columns": list(index.columns),
+            "rowgroup_size": index.rowgroup_size,
+            "n_groups": n_groups,
+            "n_pages": n_pages,
+        })
+    else:
+        raise StorageError(
+            f"index {index.name!r} of type {type(index).__name__} "
+            "cannot be serialized")
+    return desc
+
+
+def _segment_payload(table_name: str, index_name: str, group_index: int,
+                     column: str, segment: ColumnSegment) -> Dict[str, object]:
+    dictionary = segment.dictionary
+    return {
+        "table": table_name,
+        "index": index_name,
+        "group_index": group_index,
+        "column": column,
+        "n_rows": segment.n_rows,
+        "encoding": segment.encoding,
+        "size_bytes": segment.size_bytes,
+        "min_value": segment.min_value,
+        "max_value": segment.max_value,
+        "run_values": segment.run_values,
+        "run_lengths": segment.run_lengths,
+        "values": segment.values,
+        "dictionary": None if dictionary is None else dictionary.values,
+    }
+
+
+def _segment_from_payload(payload: Dict[str, object]) -> ColumnSegment:
+    dict_values = payload["dictionary"]
+    dictionary = None if dict_values is None else Dictionary(dict_values)
+    return ColumnSegment(
+        column=payload["column"],
+        n_rows=payload["n_rows"],
+        encoding=payload["encoding"],
+        size_bytes=payload["size_bytes"],
+        min_value=payload["min_value"],
+        max_value=payload["max_value"],
+        run_values=payload["run_values"],
+        run_lengths=payload["run_lengths"],
+        values=payload["values"],
+        dictionary=dictionary,
+    )
+
+
+class _PageWriter:
+    """Sequential page-id allocation plus torn-flush fault simulation."""
+
+    def __init__(self, out: BinaryIO, lsn: int,
+                 faults: Optional[FaultInjector]):
+        self.out = out
+        self.lsn = lsn
+        self.faults = faults
+        self.next_page_id = 0
+
+    def write(self, page_type: int, payload: object) -> None:
+        data = build_page(self.next_page_id, page_type, self.lsn, payload)
+        self.next_page_id += 1
+        try:
+            trip(self.faults, "page_flush_torn")
+        except ProcessAbort:
+            # Leave a torn page behind, exactly like a power cut during
+            # the flush: recovery must reject the partial file.
+            self.out.write(data[:max(1, len(data) // 2)])
+            self.out.flush()
+            raise
+        self.out.write(data)
+
+
+def write_snapshot(database, out: BinaryIO, checkpoint_lsn: int = 0,
+                   faults: Optional[FaultInjector] = None) -> int:
+    """Write a full snapshot of ``database`` as a page stream to ``out``.
+
+    Returns the number of pages written. Deterministic for a given
+    database state (see the module docstring), so two saves of identical
+    states are byte-identical.
+    """
+    writer = _PageWriter(out, checkpoint_lsn, faults)
+    tables = database.tables()
+    writer.write(PT_CATALOG, {
+        "name": database.name,
+        "checkpoint_lsn": checkpoint_lsn,
+        "tables": [t.name for t in tables],
+    })
+    for table in tables:
+        trip(faults, "checkpoint_mid")
+        rows = table.rows_with_rids()
+        n_row_pages = -(-len(rows) // ROWS_PER_PAGE) if rows else 0
+        writer.write(PT_TABLE, {
+            "table": table.name,
+            "schema": _schema_payload(table.schema),
+            "next_rid": table._next_rid,
+            "modification_counter": table.modification_counter,
+            "n_row_pages": n_row_pages,
+            "n_indexes": 1 + len(table.secondary_indexes),
+        })
+        for start in range(0, len(rows), ROWS_PER_PAGE):
+            chunk = rows[start:start + ROWS_PER_PAGE]
+            writer.write(PT_ROWS, {
+                "table": table.name,
+                "rids": [rid for rid, _ in chunk],
+                "rows": [row for _, row in chunk],
+            })
+        for index in [table.primary] + list(table.secondary_indexes.values()):
+            writer.write(PT_INDEX, _index_descriptor(table, index))
+            if isinstance(index, (PrimaryBTreeIndex, SecondaryBTreeIndex)):
+                items = list(index.tree.items())
+                for start in range(0, len(items), BTREE_ITEMS_PER_PAGE):
+                    chunk = items[start:start + BTREE_ITEMS_PER_PAGE]
+                    writer.write(PT_BTREE_LEAF, {
+                        "table": table.name,
+                        "index": index.name,
+                        "items": chunk,
+                    })
+            elif isinstance(index, ColumnstoreIndex):
+                for gi, state in enumerate(index._groups):
+                    group = state.group
+                    writer.write(PT_CSI_GROUP, {
+                        "table": table.name,
+                        "index": index.name,
+                        "group_index": gi,
+                        "rids": group.rids,
+                        "n_rows": group.n_rows,
+                        "sort_order": list(group.sort_order),
+                        "deleted_mask": state.deleted_mask,
+                        "n_deleted": state.n_deleted,
+                        "columns": sorted(group.segments),
+                    })
+                    for column in sorted(group.segments):
+                        writer.write(PT_CSI_SEGMENT, _segment_payload(
+                            table.name, index.name, gi, column,
+                            group.segments[column]))
+                writer.write(PT_CSI_SIDE, {
+                    "table": table.name,
+                    "index": index.name,
+                    "delta": sorted(index._delta.items()),
+                    "delete_buffer": sorted(index._delete_buffer),
+                })
+    return writer.next_page_id
+
+
+# ------------------------------------------------------- snapshot loader
+
+class _PageStream:
+    """Sequential reader over a parsed snapshot byte buffer."""
+
+    def __init__(self, buf: bytes):
+        self.buf = buf
+        self.offset = 0
+        self.pages_read = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset >= len(self.buf)
+
+    def next(self, expected_type: int) -> Page:
+        if self.exhausted:
+            raise StorageError(
+                f"snapshot ended early: expected a "
+                f"{PAGE_TYPE_NAMES[expected_type]} page")
+        page, self.offset = parse_page(self.buf, self.offset)
+        self.pages_read += 1
+        if page.page_type != expected_type:
+            raise StorageError(
+                f"snapshot page {page.page_id}: expected "
+                f"{PAGE_TYPE_NAMES[expected_type]}, got "
+                f"{PAGE_TYPE_NAMES.get(page.page_type, page.page_type)}")
+        return page
+
+
+def _restore_btree(table, desc: Dict[str, object], stream: _PageStream):
+    items: List[Tuple] = []
+    for _ in range(desc["n_pages"]):
+        page = stream.next(PT_BTREE_LEAF)
+        items.extend(page.payload["items"])
+    if len(items) != desc["n_items"]:
+        raise StorageError(
+            f"index {desc['name']!r}: snapshot has {len(items)} leaf "
+            f"entries, descriptor says {desc['n_items']}")
+    if desc["included_columns"] is None:
+        index = PrimaryBTreeIndex(desc["name"], table.schema,
+                                  desc["key_columns"],
+                                  object_id=desc["object_id"])
+    else:
+        index = SecondaryBTreeIndex(desc["name"], table.schema,
+                                    desc["key_columns"],
+                                    desc["included_columns"],
+                                    object_id=desc["object_id"])
+    if items:
+        index.tree = BPlusTree.bulk_load(
+            items, leaf_capacity=index.tree.leaf_capacity)
+    return index
+
+
+def _restore_columnstore(table, desc: Dict[str, object],
+                         stream: _PageStream) -> ColumnstoreIndex:
+    index = ColumnstoreIndex(
+        desc["name"], table.schema, columns=desc["columns"],
+        is_primary=desc["is_primary"], rowgroup_size=desc["rowgroup_size"],
+        object_id=desc["object_id"],
+    )
+    for gi in range(desc["n_groups"]):
+        group_page = stream.next(PT_CSI_GROUP).payload
+        if group_page["group_index"] != gi:
+            raise StorageError(
+                f"index {desc['name']!r}: row group pages out of order")
+        segments: Dict[str, ColumnSegment] = {}
+        for column in group_page["columns"]:
+            seg_page = stream.next(PT_CSI_SEGMENT).payload
+            if seg_page["column"] != column or seg_page["group_index"] != gi:
+                raise StorageError(
+                    f"index {desc['name']!r}: segment pages out of order")
+            segments[column] = _segment_from_payload(seg_page)
+        group = CompressedRowGroup(
+            segments=segments,
+            rids=group_page["rids"],
+            n_rows=group_page["n_rows"],
+            sort_order=group_page["sort_order"],
+        )
+        index._append_group(group)
+        state = index._groups[-1]
+        state.deleted_mask = group_page["deleted_mask"]
+        state.n_deleted = group_page["n_deleted"]
+        # _append_group registered every rid; masked (bitmap-deleted)
+        # slots must not keep locators — that is the checker invariant.
+        for pos in np.flatnonzero(state.deleted_mask).tolist():
+            index._rid_location.pop(int(group.rids[pos]), None)
+    side = stream.next(PT_CSI_SIDE).payload
+    index._delta = {rid: tuple(values) for rid, values in side["delta"]}
+    index._delete_buffer = set(side["delete_buffer"])
+    return index
+
+
+def load_snapshot(source, cost_model=None):
+    """Load a snapshot written by :func:`write_snapshot`.
+
+    ``source`` is a path or bytes. Returns ``(database, meta)`` where
+    ``meta`` carries the catalog header (notably ``checkpoint_lsn`` and
+    ``pages_read``). Raises :class:`StorageError` on any torn page,
+    checksum mismatch, or structural inconsistency.
+    """
+    from repro.engine.costs import DEFAULT_COST_MODEL
+    from repro.storage.database import Database
+
+    if isinstance(source, (bytes, bytearray)):
+        buf = bytes(source)
+    else:
+        with open(source, "rb") as f:
+            buf = f.read()
+    stream = _PageStream(buf)
+    catalog = stream.next(PT_CATALOG).payload
+    database = Database(catalog["name"],
+                        cost_model=cost_model or DEFAULT_COST_MODEL)
+    max_object_id = 0
+    for table_name in catalog["tables"]:
+        table_page = stream.next(PT_TABLE).payload
+        if table_page["table"] != table_name:
+            raise StorageError(
+                f"snapshot table pages out of order: expected "
+                f"{table_name!r}, got {table_page['table']!r}")
+        schema = _schema_from_payload(table_name, table_page["schema"])
+        table = database.create_table(schema)
+        for _ in range(table_page["n_row_pages"]):
+            rows_page = stream.next(PT_ROWS).payload
+            for rid, row in zip(rows_page["rids"], rows_page["rows"]):
+                table._rows[rid] = tuple(row)
+        table._next_rid = table_page["next_rid"]
+        table.modification_counter = table_page["modification_counter"]
+        for position in range(table_page["n_indexes"]):
+            desc = stream.next(PT_INDEX).payload
+            max_object_id = max(max_object_id, desc["object_id"])
+            if desc["kind"] == "heap":
+                index = HeapFile(desc["name"], schema,
+                                 object_id=desc["object_id"])
+                for rid, row in table.iter_rows():
+                    index._rows[rid] = row
+            elif desc["kind"] == "btree":
+                index = _restore_btree(table, desc, stream)
+            elif desc["kind"] == "csi":
+                index = _restore_columnstore(table, desc, stream)
+                index.segment_cache = table.segment_cache
+            else:
+                raise StorageError(
+                    f"unknown index kind {desc['kind']!r} in snapshot")
+            index.faults = database.fault_injector
+            index.usage.clock = database.telemetry.clock
+            if position == 0:
+                if desc["role"] != "primary":
+                    raise StorageError(
+                        f"table {table_name!r}: first index in snapshot "
+                        "is not the primary structure")
+                table.primary = index
+            else:
+                table.secondary_indexes[desc["name"]] = index
+    if not stream.exhausted:
+        raise StorageError(
+            f"snapshot has {len(buf) - stream.offset} trailing bytes "
+            f"after page {stream.pages_read - 1}")
+    ensure_object_ids_above(max_object_id)
+    meta = {
+        "name": catalog["name"],
+        "checkpoint_lsn": catalog["checkpoint_lsn"],
+        "pages_read": stream.pages_read,
+    }
+    return database, meta
+
+
+def snapshot_bytes(database, checkpoint_lsn: int = 0) -> bytes:
+    """Serialize ``database`` to an in-memory snapshot (no faults, no
+    files) — the building block for recovery's state digests."""
+    out = io.BytesIO()
+    write_snapshot(database, out, checkpoint_lsn=checkpoint_lsn, faults=None)
+    return out.getvalue()

@@ -65,6 +65,36 @@ class Table:
         #: Rows touched by DML since creation — drives statistics
         #: staleness detection (SQL Server's auto-update-stats rule).
         self.modification_counter = 0
+        #: Write-ahead log attached by a durable owning Database (None
+        #: keeps the table pure-simulator). Every successful DML/DDL
+        #: call logs its redo ops here *after* applying in memory; the
+        #: executor's statement scope makes multi-call statements one
+        #: atomic log transaction.
+        self.wal = None
+
+    # --------------------------------------------------------- durability
+    def attach_wal(self, wal) -> None:
+        """Start logging this table's DML/DDL to ``wal``."""
+        self.wal = wal
+        for index in self.all_indexes:
+            self._attach_wal_hooks(index)
+
+    def _attach_wal_hooks(self, index) -> None:
+        """Give columnstores their explicit-maintenance redo logger."""
+        if self.wal is not None and isinstance(index, ColumnstoreIndex):
+            index.wal_notify = self._maintenance_logger(index.name)
+
+    def _maintenance_logger(self, index_name: str) -> Callable[[str], None]:
+        def notify(kind: str) -> None:
+            self._log_ops([{
+                "op": "maintenance", "table": self.name,
+                "index": index_name, "kind": kind,
+            }])
+        return notify
+
+    def _log_ops(self, ops) -> None:
+        if self.wal is not None:
+            self.wal.log_ops(ops)
 
     # ------------------------------------------------------------ basics
     def __len__(self) -> int:
@@ -145,6 +175,10 @@ class Table:
         index.usage.clock = self.usage_clock
         self._evict_cached_segments(self.primary)
         self.primary = index
+        self._log_ops([{
+            "op": "set_primary_btree", "table": self.name,
+            "key_columns": list(key_columns), "name": index_name,
+        }])
         return index
 
     def set_primary_columnstore(
@@ -176,6 +210,17 @@ class Table:
         index.usage.clock = self.usage_clock
         self._evict_cached_segments(self.primary)
         self.primary = index
+        self._attach_wal_hooks(index)
+        self._log_ops([{
+            "op": "set_primary_columnstore", "table": self.name,
+            "name": index.name, "rowgroup_size": rowgroup_size,
+            "presorted": presorted,
+            # Logged so redo rebuilds the index with the *same* id:
+            # columnstore object ids key the shared segment cache and
+            # participate in the snapshot digest, so replay must not
+            # draw a fresh one.
+            "object_id": index.object_id,
+        }])
         return index
 
     def set_primary_heap(self) -> HeapFile:
@@ -187,6 +232,7 @@ class Table:
             heap.insert(rid, row)
         self._evict_cached_segments(self.primary)
         self.primary = heap
+        self._log_ops([{"op": "set_primary_heap", "table": self.name}])
         return heap
 
     def create_secondary_btree(
@@ -204,6 +250,11 @@ class Table:
         index.faults = self.fault_injector
         index.usage.clock = self.usage_clock
         self.secondary_indexes[name] = index
+        self._log_ops([{
+            "op": "create_secondary_btree", "table": self.name,
+            "name": name, "key_columns": list(key_columns),
+            "included_columns": list(included_columns),
+        }])
         return index
 
     def create_secondary_columnstore(
@@ -251,6 +302,16 @@ class Table:
         index.faults = self.fault_injector
         index.usage.clock = self.usage_clock
         self.secondary_indexes[name] = index
+        self._attach_wal_hooks(index)
+        self._log_ops([{
+            "op": "create_secondary_columnstore", "table": self.name,
+            "name": name,
+            "columns": None if columns is None else list(columns),
+            "rowgroup_size": rowgroup_size, "sorted_on": sorted_on,
+            "allow_multiple": allow_multiple,
+            # See set_primary_columnstore: replayed ids must match.
+            "object_id": index.object_id,
+        }])
         return index
 
     def drop_index(self, name: str) -> None:
@@ -259,12 +320,20 @@ class Table:
             raise CatalogError(f"table {self.name!r} has no secondary index {name!r}")
         self._evict_cached_segments(self.secondary_indexes[name])
         del self.secondary_indexes[name]
+        self._log_ops([{
+            "op": "drop_index", "table": self.name, "name": name,
+        }])
 
     def drop_all_secondary_indexes(self) -> None:
         """Drop every secondary index."""
         for index in self.secondary_indexes.values():
             self._evict_cached_segments(index)
+        had_indexes = bool(self.secondary_indexes)
         self.secondary_indexes.clear()
+        if had_indexes:
+            self._log_ops([{
+                "op": "drop_all_secondary_indexes", "table": self.name,
+            }])
 
     def _check_index_name(self, name: str) -> None:
         if name in self.secondary_indexes or name == self.primary.name:
@@ -341,6 +410,10 @@ class Table:
             raise
         self.modification_counter += 1
         self._record_dml(ctx)
+        self._log_ops([{
+            "op": "insert", "table": self.name, "rid": rid,
+            "row": validated,
+        }])
         return rid
 
     def bulk_load(self, rows: Sequence[Sequence[object]]) -> List[int]:
@@ -353,6 +426,7 @@ class Table:
                 f"{len(self.secondary_indexes)} secondary indexes"
             )
         rids = []
+        validated_rows = []
         for row in rows:
             validated = self.schema.validate_row(row)
             rid = self._next_rid
@@ -360,7 +434,13 @@ class Table:
             self._rows[rid] = validated
             self.primary.insert(rid, validated)
             rids.append(rid)
+            validated_rows.append(validated)
         self.modification_counter += len(rids)
+        if rids:
+            self._log_ops([{
+                "op": "bulk_insert", "table": self.name,
+                "rids": rids, "rows": validated_rows,
+            }])
         return rids
 
     def delete_rid(self, rid: int, ctx: Optional[ExecutionContext] = None) -> Row:
@@ -383,6 +463,9 @@ class Table:
         del self._rows[rid]
         self.modification_counter += 1
         self._record_dml(ctx)
+        self._log_ops([{
+            "op": "delete", "table": self.name, "rids": [rid],
+        }])
         return row
 
     def delete_rids(self, rids: Sequence[int],
@@ -419,6 +502,9 @@ class Table:
         self.modification_counter += len(rows)
         if rows:
             self._record_dml(ctx)
+            self._log_ops([{
+                "op": "delete", "table": self.name, "rids": list(rows),
+            }])
         return len(rows)
 
     def update_rid(self, rid: int, new_row: Sequence[object],
@@ -474,6 +560,11 @@ class Table:
         self.modification_counter += len(triples)
         if triples:
             self._record_dml(ctx)
+            self._log_ops([{
+                "op": "update", "table": self.name,
+                "updates": [(rid, new_row)
+                            for rid, _, new_row in triples],
+            }])
         return len(triples)
 
     def fetch_columns(self, rid: int, ordinals: Sequence[int],

@@ -1,0 +1,160 @@
+"""Crash-style fault points and the chaos harness.
+
+In-process sweep: every crash point fires mid-workload, the uncatchable
+:class:`~repro.core.errors.ProcessAbort` sentinel unwinds, and the
+directory left behind recovers to exactly a committed prefix —
+checker-clean and idempotently. A subprocess smoke test then runs the
+real harness (genuine ``os._exit`` / SIGKILL children) end to end.
+"""
+
+import pytest
+
+from repro.core.errors import ProcessAbort
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.executor import Executor
+from repro.storage.crashtest import (
+    run_chaos,
+    session_statements,
+    verify_recovered,
+)
+from repro.storage.database import Database
+from repro.storage.faults import CRASH_POINTS
+from repro.storage.recovery import recover, state_digest
+
+
+def durable_db(tmp_path):
+    database = Database("crash")
+    table = database.create_table(TableSchema("t", [
+        Column("a", INT, nullable=False),
+        Column("b", INT),
+        Column("s", varchar(8)),
+    ]))
+    table.bulk_load([(i, i % 5, f"s{i % 3}") for i in range(100)])
+    table.set_primary_btree(["a"])
+    table.create_secondary_columnstore("csi_t", rowgroup_size=64)
+    database.enable_durability(str(tmp_path))
+    return database
+
+
+def insert_sql(i):
+    return f"INSERT INTO t (a, b, s) VALUES ({1000 + i}, 1, 'n')"
+
+
+@pytest.mark.parametrize("point", CRASH_POINTS)
+@pytest.mark.parametrize("hit", [1, 3, 7])
+class TestCrashPointSweep:
+    def test_crash_then_recover_to_committed_prefix(self, tmp_path,
+                                                    point, hit):
+        database = durable_db(tmp_path)
+        executor = Executor(database)
+        database.fault_injector.arm(point, on_hit=hit)
+        completed = 0
+        crashed = False
+        try:
+            for i in range(12):
+                executor.execute(insert_sql(i))
+                completed += 1
+                if (i + 1) % 4 == 0:
+                    database.checkpoint()
+        except ProcessAbort:
+            crashed = True
+        if point in ("checkpoint_mid", "page_flush_torn") and not crashed:
+            # Points inside the snapshot writer need a checkpoint with
+            # enough pages to reach the armed hit; hit 7 may never fire
+            # for the one-table snapshot. Nothing to assert then.
+            assert hit > 1
+            return
+        assert crashed, f"{point} (hit {hit}) never fired"
+
+        recovered, report = recover(str(tmp_path))
+        assert report.check_ok, report.check_findings
+        values = sorted(row[0] for _, row in
+                        recovered.table("t").iter_rows() if row[0] >= 1000)
+        # Exactly a prefix: every acknowledged insert present, at most
+        # one unacknowledged (in-flight) insert beyond it.
+        assert values == [1000 + i for i in range(len(values))]
+        assert completed <= len(values) <= completed + 1
+        again, _ = recover(str(tmp_path))
+        assert state_digest(again) == state_digest(recovered)
+
+    def test_crash_is_uncatchable_by_except_exception(self, tmp_path,
+                                                      point, hit):
+        if hit != 1:
+            pytest.skip("one arming is enough per point")
+        database = durable_db(tmp_path)
+        executor = Executor(database)
+        database.fault_injector.arm(point, on_hit=1)
+
+        def run_all():
+            for i in range(12):
+                try:
+                    executor.execute(insert_sql(i))
+                except Exception:  # noqa: BLE001 - the point of the test
+                    pytest.fail("ProcessAbort was caught by Exception")
+                if (i + 1) % 4 == 0:
+                    database.checkpoint()
+
+        with pytest.raises(ProcessAbort) as exc:
+            run_all()
+        assert exc.value.point == point
+        assert not isinstance(exc.value, Exception)
+
+
+class TestDeadWal:
+    def test_no_commit_after_crash(self, tmp_path):
+        """A crashed WAL must refuse to acknowledge later statements —
+        otherwise a concurrent session could acknowledge work that
+        recovery cannot see."""
+        database = durable_db(tmp_path)
+        executor = Executor(database)
+        database.fault_injector.arm("wal_append", on_hit=2)
+        with pytest.raises(ProcessAbort):
+            for i in range(5):
+                executor.execute(insert_sql(i))
+        assert database.wal.dead
+        with pytest.raises(ProcessAbort):
+            executor.execute(insert_sql(99))
+        recovered, report = recover(str(tmp_path))
+        assert report.check_ok
+        values = {row[0] for _, row in recovered.table("t").iter_rows()}
+        assert 1099 not in values
+
+
+class TestHarnessModel:
+    def test_session_statements_deterministic(self):
+        first = session_statements(7, 2, 40)
+        second = session_statements(7, 2, 40)
+        assert first == second
+        statements, states = first
+        assert len(statements) == 40 and len(states) == 41
+        assert states[0] == {}
+
+    def test_verify_flags_lost_commit(self, tmp_path):
+        database = Database("v")
+        table = database.create_table(TableSchema("kv", [
+            Column("session_id", INT, nullable=False),
+            Column("k", INT, nullable=False),
+            Column("v", INT),
+        ]))
+        statements, states = session_statements(3, 0, 10)
+        executor = Executor(database)
+        for sql in statements[:4]:
+            executor.execute(sql)
+        # Oracle says 4 committed: state == states[4] passes...
+        assert verify_recovered(database, {0: 4}, 3, 1, 10) == []
+        # ...but an oracle claiming more must be flagged as data loss.
+        problems = verify_recovered(database, {0: 6}, 3, 1, 10)
+        assert problems and "matches no" in problems[0]
+
+
+@pytest.mark.slow
+class TestSubprocessSmoke:
+    def test_chaos_iteration_per_crash_point(self, tmp_path):
+        report = run_chaos(n_random=1, seed=11, n_sessions=2,
+                           n_statements=15,
+                           out_path=str(tmp_path / "report.json"))
+        assert report["total"] == len(CRASH_POINTS) + 1
+        failed = [e for e in report["iterations"] if not e["ok"]]
+        assert not failed, failed
+        assert (tmp_path / "report.json").exists()

@@ -9,13 +9,15 @@ finds every index consistent.
 
 import pytest
 
-from repro.core.errors import StorageError
+from repro.core.errors import ProcessAbort, StorageError
 from repro.core.schema import Column, TableSchema
 from repro.core.types import INT, varchar
 from repro.engine.metrics import ExecutionContext
 from repro.storage.checker import check_database, check_table
 from repro.storage.database import Database
 from repro.storage.faults import (
+    ALL_POINTS,
+    CRASH_POINTS,
     INJECTION_POINTS,
     FaultInjector,
     InjectedFault,
@@ -120,6 +122,100 @@ class TestFaultInjector:
 
     def test_trip_none_is_noop(self):
         trip(None, "heap.insert")  # must not raise
+
+    def test_validation_error_lists_armed_and_known_points(self):
+        injector = FaultInjector()
+        injector.arm("heap.insert")
+        injector.arm("wal_append")
+        with pytest.raises(StorageError) as exc:
+            injector.arm("wal_appendd")
+        message = str(exc.value)
+        assert "'wal_appendd'" in message
+        assert "armed points: heap.insert, wal_append" in message
+        for point in ALL_POINTS:
+            assert point in message
+
+    def test_validation_error_with_nothing_armed(self):
+        with pytest.raises(StorageError) as exc:
+            FaultInjector().hit("bogus")
+        assert "armed points: <none>" in str(exc.value)
+
+
+class TestScenario:
+    def test_int_spec_arms_nth_hit(self):
+        injector = FaultInjector()
+        injector.scenario({"heap.insert": 2})
+        injector.hit("heap.insert")
+        with pytest.raises(InjectedFault):
+            injector.hit("heap.insert")
+
+    def test_dict_and_sequence_specs(self):
+        injector = FaultInjector()
+        injector.scenario({
+            "heap.insert": {"kind": "nth", "on_hit": 1},
+            "btree.insert": {"kind": "probability", "probability": 1.0,
+                             "seed": 3},
+            "csi.delta_insert": [False, True],
+        })
+        assert sorted(injector.armed_points()) == [
+            "btree.insert", "csi.delta_insert", "heap.insert"]
+        with pytest.raises(InjectedFault):
+            injector.hit("heap.insert")
+        with pytest.raises(InjectedFault):
+            injector.hit("btree.insert")
+        injector.hit("csi.delta_insert")
+        with pytest.raises(InjectedFault):
+            injector.hit("csi.delta_insert")
+
+    def test_bare_bool_rejected(self):
+        # bool is an int subclass; silently treating True as on_hit=1
+        # would mask a typo'd spec.
+        with pytest.raises(StorageError):
+            FaultInjector().scenario({"heap.insert": True})
+
+    def test_unknown_kind_and_type_rejected(self):
+        injector = FaultInjector()
+        with pytest.raises(StorageError):
+            injector.scenario({"heap.insert": {"kind": "sometimes"}})
+        with pytest.raises(StorageError):
+            injector.scenario({"heap.insert": 1.5})
+
+    def test_unknown_point_in_scenario_rejected(self):
+        with pytest.raises(StorageError):
+            FaultInjector().scenario({"no.such.point": 1})
+
+
+class TestCrashPoints:
+    def test_point_catalogs(self):
+        assert ALL_POINTS == INJECTION_POINTS + CRASH_POINTS
+        assert set(CRASH_POINTS) == {
+            "wal_append", "wal_fsync", "checkpoint_mid", "page_flush_torn"}
+        assert not set(CRASH_POINTS) & set(INJECTION_POINTS)
+
+    @pytest.mark.parametrize("point", CRASH_POINTS)
+    def test_crash_point_raises_process_abort(self, point):
+        injector = FaultInjector()
+        injector.arm(point, on_hit=2)
+        injector.hit(point)
+        with pytest.raises(ProcessAbort) as exc:
+            injector.hit(point)
+        assert exc.value.point == point
+        assert exc.value.hit_number == 2
+        assert injector.hits[point] == 2
+        assert injector.injected[point] == 1
+
+    def test_process_abort_is_not_an_exception(self):
+        # Rollback code catches Exception; a simulated process death must
+        # sail straight through it, like a real kill -9 would.
+        assert not issubclass(ProcessAbort, Exception)
+        assert issubclass(ProcessAbort, BaseException)
+        injector = FaultInjector()
+        injector.arm("wal_fsync")
+        with pytest.raises(ProcessAbort):
+            try:
+                injector.hit("wal_fsync")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("ProcessAbort was caught by Exception")
 
 
 # --------------------------------------------------- targeted atomicity
