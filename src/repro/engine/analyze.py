@@ -85,6 +85,12 @@ class AnalyzedQuery:
             detail += (f" code-path={span.code_path_hits}h/"
                        f"{span.code_path_fallbacks}f")
         lines.append(detail)
+        if span.fallback_reasons:
+            # Name the operator/predicate that forced each encoded-column
+            # materialization: encoded-coverage regressions should be
+            # readable in plan output, not a silent counter bump.
+            for reason, count in sorted(span.fallback_reasons.items()):
+                lines.append(f"{pad}  fallback x{count}: {reason}")
         for child in span.children:
             self._format_span(child, depth + 1, lines)
         # Plan subtrees that never executed (e.g. below a TOP 0) still

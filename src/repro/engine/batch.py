@@ -118,11 +118,17 @@ class Batch:
         Object (string) columns are estimated from a deterministic sample
         of actual value sizes; encoded columns sample through their
         dictionary without materializing, so both representations of the
-        same data report the same estimate.
+        same data report the same estimate. Numeric encoded columns are
+        charged at their decoded numeric width (``length * itemsize``) —
+        exactly what the decoded twin's ``arr.nbytes`` reports — because
+        grants and spill decisions must not depend on which execution
+        mode produced the batch.
         """
         total = 0
         for arr in self.columns.values():
-            if arr.dtype == object:
+            if isinstance(arr, EncodedColumn) and arr.is_numeric:
+                total += self.length * arr.decoded_dtype.itemsize
+            elif arr.dtype == object:
                 total += _object_column_bytes(arr, self.length)
             else:
                 total += arr.nbytes
@@ -147,8 +153,13 @@ def batch_to_rows(batch: Batch, names: Optional[Sequence[str]] = None) -> List[R
     """Pivot a batch into row tuples, preserving order."""
     names = list(names) if names is not None else batch.column_names()
     arrays = [batch.column(name) for name in names]
+    # EncodedColumn.tolist() yields Python scalars for numeric
+    # dictionaries (not numpy scalars), matching the decoded twin.
     pythonic = [
-        arr.tolist() if arr.dtype != object else list(arr) for arr in arrays
+        arr.tolist()
+        if isinstance(arr, EncodedColumn) or arr.dtype != object
+        else list(arr)
+        for arr in arrays
     ]
     return list(zip(*pythonic))
 
@@ -164,13 +175,19 @@ def _column_array(values: Sequence[object]) -> np.ndarray:
     has_none = any(v is None for v in values)
     if not has_none:
         first = values[0]
-        if isinstance(first, bool):
+        if isinstance(first, (bool, np.bool_)):
             pass  # fall through to object
-        elif isinstance(first, (int, float)):
-            if all(isinstance(v, int) and not isinstance(v, bool)
+        elif isinstance(first, (int, float, np.integer, np.floating)):
+            # numpy scalars count as numbers too: rows rebuilt from
+            # decoded segments carry np.int64 values, and treating them
+            # as objects would silently dictionary-encode a numeric
+            # column on REBUILD.
+            if all(isinstance(v, (int, np.integer))
+                   and not isinstance(v, (bool, np.bool_))
                    for v in values):
                 return np.array(values, dtype=np.int64)
-            if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+            if all(isinstance(v, (int, float, np.integer, np.floating))
+                   and not isinstance(v, (bool, np.bool_))
                    for v in values):
                 return np.array(values, dtype=np.float64)
     arr = np.empty(len(values), dtype=object)
@@ -188,16 +205,22 @@ def concat_batches(batches: Iterable[Batch]) -> Optional[Batch]:
     for name in names:
         arrays = [b.column(name) for b in materialized]
         if all(isinstance(a, EncodedColumn) for a in arrays):
-            # Same-dictionary encoded runs concatenate on codes and stay
-            # encoded; mixed dictionaries materialize below.
+            # Encoded runs stay encoded: same-dictionary runs concatenate
+            # on codes directly, differing per-segment dictionaries are
+            # merged and the codes remapped (see ``concat_encoded``);
+            # only unmergeable inputs materialize below.
             encoded = concat_encoded(arrays)
             if encoded is not None:
                 columns[name] = encoded
                 continue
+        # Materialize stragglers first: a numeric encoded column decodes
+        # to its numeric dtype, so a mixed encoded/plain numeric column
+        # concatenates numerically exactly like the decoded twin.
+        arrays = [a.materialize() if isinstance(a, EncodedColumn) else a
+                  for a in arrays]
         if any(a.dtype == object for a in arrays):
             # Cast only the arrays that are not already object dtype.
-            arrays = [a.materialize() if isinstance(a, EncodedColumn)
-                      else (a if a.dtype == object else a.astype(object))
+            arrays = [a if a.dtype == object else a.astype(object)
                       for a in arrays]
         columns[name] = np.concatenate(arrays)
     return Batch(columns)

@@ -33,7 +33,7 @@ path on or off, which is asserted by the differential test suite.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -127,7 +127,12 @@ class EncodedColumn:
         ``EncodedColumn`` over the selected codes (laziness survives
         filtering, which is the point of late materialization)."""
         if isinstance(item, (int, np.integer)):
-            return self.dictionary.values[self.codes[item]]
+            value = self.dictionary.values[self.codes[item]]
+            # Numeric dictionaries hold numpy scalars; hand out Python
+            # scalars so row-mode consumers see the decoded path's types.
+            if isinstance(value, np.generic):
+                return value.item()
+            return value
         return EncodedColumn(self.codes[item], self.dictionary)
 
     def __iter__(self):
@@ -137,6 +142,25 @@ class EncodedColumn:
     def nbytes(self) -> int:
         """Physical in-memory size of the code array."""
         return int(self.codes.nbytes)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes this column actually occupies while encoded — the int32
+        code array. The shared dictionary is owned by the segment, not
+        the batch/cache entry, so it is not charged here."""
+        return int(self.codes.nbytes)
+
+    @property
+    def decoded_dtype(self) -> np.dtype:
+        """Dtype :meth:`materialize` would produce (the dictionary's
+        value dtype) — ``object`` for string/nullable dictionaries,
+        a numeric dtype for derived numeric code spaces."""
+        return self.dictionary.values.dtype
+
+    @property
+    def is_numeric(self) -> bool:
+        """True when the dictionary holds numeric (non-object) values."""
+        return self.dictionary.values.dtype != np.dtype(object)
 
     def materialize(self) -> np.ndarray:
         """Decode into a numpy object array (cached on this instance)."""
@@ -150,8 +174,12 @@ class EncodedColumn:
         return self.materialize().astype(dtype)
 
     def tolist(self):
-        """Decoded values as a Python list."""
-        return list(self.materialize())
+        """Decoded values as a Python list (Python scalars, matching
+        what ``batch_to_rows`` yields for the decoded twin column)."""
+        materialized = self.materialize()
+        if materialized.dtype == object:
+            return list(materialized)
+        return materialized.tolist()
 
     def __repr__(self) -> str:
         return (f"EncodedColumn(n={len(self.codes)}, "
@@ -172,10 +200,21 @@ def note_code_hit(ctx, n: int = 1) -> None:
         ctx.metrics.code_path_hits += n
 
 
-def note_code_fallback(ctx, n: int = 1) -> None:
-    """Count ``n`` operations that had to materialize an encoded column."""
-    if ctx is not None:
-        ctx.metrics.code_path_fallbacks += n
+def note_code_fallback(ctx, n: int = 1, reason: Optional[str] = None) -> None:
+    """Count ``n`` operations that had to materialize an encoded column.
+
+    ``reason`` names the operator/predicate that forced materialization
+    (e.g. ``"comparison city = region"``). Reasons are tallied on the
+    *active operator span* so EXPLAIN ANALYZE can show exactly which
+    node and expression fell off the code path — coverage regressions
+    become visible in plan output instead of a bare counter bump.
+    """
+    if ctx is None:
+        return
+    ctx.metrics.code_path_fallbacks += n
+    if reason:
+        span = ctx.active_span
+        span.fallback_reasons[reason] = span.fallback_reasons.get(reason, 0) + n
 
 
 # --------------------------------------------- literal -> code translation
@@ -246,11 +285,71 @@ def isin_codes(column: EncodedColumn, values: Sequence[object]) -> np.ndarray:
     return np.isin(column.codes, np.array(allowed, dtype=CODE_DTYPE))
 
 
+def merge_dictionaries(
+    dictionaries: Sequence[Dictionary],
+) -> Tuple[Dictionary, List[np.ndarray]]:
+    """Merge per-segment dictionaries into one sorted dictionary.
+
+    Returns the merged dictionary and, for each input, an ``int32``
+    remap array such that ``remap[old_code] == new_code``. The merged
+    value array is sorted ascending with NULL first (when any input has
+    one), so the merged code order still equals value order — the
+    legality condition for code-space sorting survives concatenation
+    across rowgroup boundaries.
+    """
+    has_null = any(d.null_offset > 0 for d in dictionaries)
+    non_null_parts = [d.values[d.null_offset:] for d in dictionaries]
+    all_numeric = all(part.dtype != object for part in non_null_parts)
+    if all_numeric:
+        merged_non_null = np.unique(np.concatenate(non_null_parts))
+    else:
+        distinct = set()
+        for part in non_null_parts:
+            distinct.update(part.tolist())
+        merged_non_null = np.array(sorted(distinct), dtype=object)
+    null_offset = 1 if has_null else 0
+    if has_null:
+        values = np.empty(len(merged_non_null) + 1, dtype=object)
+        values[0] = None
+        values[1:] = merged_non_null
+    else:
+        values = merged_non_null
+    merged = Dictionary(values=values)
+    remaps: List[np.ndarray] = []
+    for d, part in zip(dictionaries, non_null_parts):
+        remap = np.empty(len(d.values), dtype=CODE_DTYPE)
+        if d.null_offset:
+            remap[0] = 0
+        if len(part):
+            positions = np.searchsorted(merged_non_null, part)
+            remap[d.null_offset:] = (
+                positions.astype(CODE_DTYPE) + CODE_DTYPE(null_offset))
+        remaps.append(remap)
+    return merged, remaps
+
+
 def concat_encoded(columns: Sequence[EncodedColumn]) -> Optional[EncodedColumn]:
-    """Concatenate encoded columns sharing one dictionary instance, or
-    None when the dictionaries differ (caller must materialize)."""
+    """Concatenate encoded columns without materializing.
+
+    When every column shares one dictionary *instance* (morsels of one
+    segment) the codes concatenate directly. Otherwise — the common case
+    when a blocking operator concatenates batches from different
+    rowgroups, each with its own per-segment dictionary — the
+    dictionaries are merged (sorted union, NULL first) and each code
+    array is remapped through a per-source translation table. Either
+    way the result stays in code space; None is returned only when the
+    inputs are too heterogeneous to merge (mixed incomparable value
+    types), in which case the caller materializes.
+    """
     first = columns[0].dictionary
-    if any(col.dictionary is not first for col in columns[1:]):
+    if all(col.dictionary is first for col in columns[1:]):
+        return EncodedColumn(
+            np.concatenate([col.codes for col in columns]), first)
+    try:
+        merged, remaps = merge_dictionaries(
+            [col.dictionary for col in columns])
+    except (TypeError, ValueError):
         return None
-    return EncodedColumn(
-        np.concatenate([col.codes for col in columns]), first)
+    new_codes = np.concatenate(
+        [remap[col.codes] for col, remap in zip(columns, remaps)])
+    return EncodedColumn(new_codes, merged)

@@ -303,8 +303,10 @@ def eval_batch(expr: Expr, batch: Batch, ctx=None) -> np.ndarray:
     if isinstance(expr, Literal):
         return np.full(len(batch), expr.value)
     if isinstance(expr, Arithmetic):
-        left = _materialized(eval_batch(expr.left, batch, ctx), ctx)
-        right = _materialized(eval_batch(expr.right, batch, ctx), ctx)
+        left = _materialized(eval_batch(expr.left, batch, ctx), ctx,
+                             expr, "arithmetic")
+        right = _materialized(eval_batch(expr.right, batch, ctx), ctx,
+                              expr, "arithmetic")
         return _ARITH_OPS[expr.op](left, right)
     if isinstance(expr, Comparison):
         if isinstance(expr.right, Literal):
@@ -322,8 +324,10 @@ def eval_batch(expr: Expr, batch: Batch, ctx=None) -> np.ndarray:
                                      expr.left.value)
             return _compare_arrays(expr.op, np.full(len(batch), expr.left.value),
                                    subject)
-        left = _materialized(eval_batch(expr.left, batch, ctx), ctx)
-        right = _materialized(eval_batch(expr.right, batch, ctx), ctx)
+        left = _materialized(eval_batch(expr.left, batch, ctx), ctx,
+                             expr, "non-literal comparison")
+        right = _materialized(eval_batch(expr.right, batch, ctx), ctx,
+                              expr, "non-literal comparison")
         return _compare_arrays(expr.op, left, right)
     if isinstance(expr, Between):
         value = eval_batch(expr.subject, batch, ctx)
@@ -332,9 +336,11 @@ def eval_batch(expr: Expr, batch: Batch, ctx=None) -> np.ndarray:
                 and isinstance(expr.high, Literal)):
             note_code_hit(ctx)
             return between_codes(value, expr.low.value, expr.high.value)
-        value = _materialized(value, ctx)
-        low = _materialized(eval_batch(expr.low, batch, ctx), ctx)
-        high = _materialized(eval_batch(expr.high, batch, ctx), ctx)
+        value = _materialized(value, ctx, expr, "non-literal BETWEEN bounds")
+        low = _materialized(eval_batch(expr.low, batch, ctx), ctx,
+                            expr, "non-literal BETWEEN bounds")
+        high = _materialized(eval_batch(expr.high, batch, ctx), ctx,
+                             expr, "non-literal BETWEEN bounds")
         return _compare_arrays("<=", low, value) & _compare_arrays("<=", value, high)
     if isinstance(expr, InList):
         value = eval_batch(expr.subject, batch, ctx)
@@ -361,10 +367,16 @@ def eval_batch(expr: Expr, batch: Batch, ctx=None) -> np.ndarray:
     raise ExecutionError(f"cannot evaluate {type(expr).__name__} in batch mode")
 
 
-def _materialized(values, ctx):
-    """Decode an encoded operand for a path without code support."""
+def _materialized(values, ctx, expr=None, why: str = ""):
+    """Decode an encoded operand for a path without code support.
+
+    ``expr``/``why`` describe which predicate forced the fallback; the
+    attribution lands on the active operator span so EXPLAIN ANALYZE can
+    name the expression instead of silently bumping a counter.
+    """
     if isinstance(values, EncodedColumn):
-        note_code_fallback(ctx)
+        reason = f"{why}: {expr}" if expr is not None else None
+        note_code_fallback(ctx, reason=reason)
         return values.materialize()
     return values
 

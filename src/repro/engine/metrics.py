@@ -162,6 +162,11 @@ class OperatorSpan:
     memory_peak_bytes: int = 0
     mode: str = ""
     dop: int = 1
+    #: Which operator/predicate forced each encoded-column
+    #: materialization while this span was active: reason -> count.
+    #: Not charge-attributed (it annotates ``code_path_fallbacks``), so
+    #: it is deliberately absent from SPAN_ATTRIBUTED_FIELDS.
+    fallback_reasons: Dict[str, int] = field(default_factory=dict)
     children: List["OperatorSpan"] = field(default_factory=list)
     #: The PhysicalOperator this span measured (None for the statement
     #: root); explain_analyze uses it to pair spans with plan estimates.

@@ -17,8 +17,13 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.errors import ExecutionError
-from repro.engine.batch import Batch, rows_to_batch
-from repro.engine.encoded import EncodedColumn, note_code_hit
+from repro.engine.batch import Batch, _object_column_bytes, rows_to_batch
+from repro.engine.encoded import (
+    EncodedColumn,
+    maybe_materialize,
+    note_code_fallback,
+    note_code_hit,
+)
 from repro.engine.expressions import Expr, eval_batch
 from repro.engine.metrics import ExecutionContext
 from repro.engine.operators.base import BATCH_MODE, PhysicalOperator
@@ -87,13 +92,27 @@ class _AggregateBase(PhysicalOperator):
 
     def _update_state(self, state: _GroupState,
                       arg_values: List[Optional[np.ndarray]],
-                      indices: np.ndarray) -> None:
+                      indices: np.ndarray,
+                      ctx: Optional[ExecutionContext] = None) -> None:
         """Fold the rows selected by ``indices`` into ``state``."""
         state.total += len(indices)
         for i, values in enumerate(arg_values):
             if values is None:
                 continue
-            selected = values[indices]
+            if isinstance(values, EncodedColumn):
+                if self._update_from_codes(state, i, values, indices, ctx):
+                    continue
+                note_code_fallback(
+                    ctx, reason=f"aggregate {self.aggregates[i].func}"
+                                f"({self.aggregates[i].output}) on "
+                                "non-integer domain")
+                # Materialize to the *decoded* representation: a numeric
+                # dictionary decodes to a numeric array, so float sums
+                # use the same pairwise numpy summation as the decoded
+                # twin (sequential Python summation rounds differently).
+                selected = maybe_materialize(values[indices])
+            else:
+                selected = values[indices]
             if selected.dtype == object:
                 selected = np.array(
                     [v for v in selected if v is not None], dtype=object)
@@ -113,6 +132,59 @@ class _AggregateBase(PhysicalOperator):
                 state.mins[i] = lo
             if state.maxs[i] is None or hi > state.maxs[i]:
                 state.maxs[i] = hi
+
+    def _update_from_codes(self, state: _GroupState, i: int,
+                           column: EncodedColumn, indices: np.ndarray,
+                           ctx: Optional[ExecutionContext]) -> bool:
+        """Fold an encoded argument into ``state`` purely in code space.
+
+        min/max reduce over codes (the dictionary is sorted, so the
+        extreme code is the extreme value) and decode one value each;
+        count needs only the non-null code count; sum/avg use a bincount
+        over codes dotted with the integer dictionary domain. Exactness
+        rules keep both modes bit-identical: integer numeric
+        dictionaries accumulate in int64 exactly like the decoded twin's
+        ``selected.sum()``; all-integer object dictionaries accumulate
+        in arbitrary-precision Python exactly like the decoded twin's
+        ``sum()`` loop; float domains return False and materialize.
+        """
+        spec = self.aggregates[i]
+        dictionary = column.dictionary
+        needs_sum = spec.func in ("sum", "avg")
+        domain = dictionary.integer_domain() if needs_sum else None
+        if needs_sum and domain is None:
+            return False
+        codes = column.codes[indices]
+        null_offset = dictionary.null_offset
+        if null_offset:
+            codes = codes[codes >= null_offset]
+        note_code_hit(ctx)
+        if len(codes) == 0:
+            return True  # all NULL: nothing to fold, like the decoded path
+        state.counts[i] += len(codes)
+        if needs_sum:
+            counts = np.bincount(
+                codes - null_offset,
+                minlength=len(dictionary.values) - null_offset)
+            if isinstance(domain, np.ndarray):
+                state.sums[i] += float(np.dot(counts, domain))
+            else:
+                state.sums[i] += float(sum(
+                    value * int(count)
+                    for value, count in zip(domain, counts.tolist())
+                    if count))
+        # mins/maxs track unconditionally, mirroring the decoded branches.
+        lo = dictionary.values[int(codes.min())]
+        hi = dictionary.values[int(codes.max())]
+        if isinstance(lo, np.generic):
+            lo = lo.item()
+        if isinstance(hi, np.generic):
+            hi = hi.item()
+        if state.mins[i] is None or lo < state.mins[i]:
+            state.mins[i] = lo
+        if state.maxs[i] is None or hi > state.maxs[i]:
+            state.maxs[i] = hi
+        return True
 
     def _arg_arrays(self, batch: Batch,
                     ctx: Optional[ExecutionContext] = None
@@ -150,6 +222,15 @@ class HashAggregate(_AggregateBase):
         super().__init__(child, group_by, aggregates, dop)
         self.mode = child.mode
         self.spilled = False
+        #: Real bytes a spill file would hold for the post-spill batches:
+        #: encoded columns serialize their int32 codes (the shared
+        #: dictionary lives in the segment, not the spill run), plain
+        #: columns their materialized width. The *modeled* spill charge
+        #: (``charge_spill``) always uses the decoded payload so figure
+        #: metrics are mode-independent; these counters surface how much
+        #: smaller the code-space spill actually is (EXPLAIN ANALYZE).
+        self.spill_bytes_written = 0
+        self.spill_bytes_decoded = 0
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Batch]:
         """Run the operator, yielding result batches."""
@@ -161,6 +242,8 @@ class HashAggregate(_AggregateBase):
         groups: Dict[Tuple[object, ...], _GroupState] = {}
         reserved = 0
         self.spilled = False
+        self.spill_bytes_written = 0
+        self.spill_bytes_decoded = 0
         n_aggs = len(self.aggregates)
         # The hash-table grant must be returned even when the child (or
         # an aggregate expression) raises mid-stream.
@@ -172,21 +255,32 @@ class HashAggregate(_AggregateBase):
                     hash_cost *= cm.batch_cpu_ms_per_row / cm.row_cpu_ms_per_row
                 if self.spilled:
                     hash_cost *= cm.spill_cpu_multiplier
-                    ctx.charge_spill(batch.payload_bytes())
+                    payload = batch.payload_bytes()
+                    ctx.charge_spill(payload)
+                    self._serialize_spill_run(batch, payload)
                 ctx.charge_parallel_cpu(hash_cost, self.dop)
 
                 arg_values = self._arg_arrays(batch, ctx)
+
+                def on_new_group(state_key):
+                    nonlocal reserved
+                    state = _GroupState(n_aggs)
+                    groups[state_key] = state
+                    if not self.spilled:
+                        if ctx.acquire_memory(entry_bytes):
+                            reserved += entry_bytes
+                        else:
+                            self.spilled = True
+                    return state
+
+                if self._fold_batch_vectorized(batch, arg_values, groups,
+                                               on_new_group, ctx):
+                    continue
                 for key, indices in _group_indices(batch, self.group_by, ctx).items():
                     state = groups.get(key)
                     if state is None:
-                        state = _GroupState(n_aggs)
-                        groups[key] = state
-                        if not self.spilled:
-                            if ctx.acquire_memory(entry_bytes):
-                                reserved += entry_bytes
-                            else:
-                                self.spilled = True
-                    self._update_state(state, arg_values, indices)
+                        state = on_new_group(key)
+                    self._update_state(state, arg_values, indices, ctx)
             result = self._emit(groups)
         finally:
             if reserved:
@@ -194,9 +288,110 @@ class HashAggregate(_AggregateBase):
         if result is not None:
             yield result
 
+    #: Ceiling on the (groups x dictionary) bincount matrix the
+    #: vectorized fold may allocate per aggregate (int64 cells).
+    _VECTOR_FOLD_MAX_CELLS = 1 << 24
+
+    def _fold_batch_vectorized(self, batch: Batch,
+                               arg_values: List[Optional[np.ndarray]],
+                               groups: Dict[Tuple[object, ...], _GroupState],
+                               on_new_group, ctx) -> bool:
+        """Fold one batch with per-batch bincounts instead of per-group
+        gathers, when every aggregate argument is an ``EncodedColumn``.
+
+        One ``bincount`` over the composite ``group_code * |dict| +
+        value_code`` yields the full (group x value) contingency matrix,
+        from which counts, int64-exact sums (matrix-vector product with
+        the integer dictionary domain — the same int64 arithmetic as the
+        per-group ``np.dot``), and code-space min/max all fall out
+        without touching row indices. Returns False when any argument is
+        ineligible (plain array, float/object-int domain under sum/avg,
+        oversized matrix); the caller then runs the per-group path,
+        which produces bit-identical state.
+        """
+        if not self.group_by:
+            return False
+        specs = []
+        for i, values in enumerate(arg_values):
+            if values is None:
+                continue
+            spec = self.aggregates[i]
+            if not isinstance(values, EncodedColumn):
+                return False
+            if spec.func in ("sum", "avg") and not isinstance(
+                    values.dictionary.integer_domain(), np.ndarray):
+                return False
+            specs.append((i, spec, values))
+        gcodes, uniques = _factorize(batch, self.group_by, ctx)
+        k = len(uniques)
+        for _, _, values in specs:
+            if k * len(values.dictionary) > self._VECTOR_FOLD_MAX_CELLS:
+                return False
+        group_counts = np.bincount(gcodes, minlength=k)
+        states = []
+        for j, key in enumerate(uniques):
+            state = groups.get(key)
+            if state is None:
+                state = on_new_group(key)
+            state.total += int(group_counts[j])
+            states.append(state)
+        for i, spec, values in specs:
+            dictionary = values.dictionary
+            nv = len(dictionary)
+            null_offset = dictionary.null_offset
+            combined = gcodes * nv + values.codes
+            mat = np.bincount(combined, minlength=k * nv).reshape(k, nv)
+            nonnull = mat[:, null_offset:]
+            note_code_hit(ctx)
+            if nonnull.shape[1] == 0:
+                continue  # all-NULL dictionary: nothing to fold
+            counts = nonnull.sum(axis=1)
+            sums = (nonnull @ dictionary.integer_domain()
+                    if spec.func in ("sum", "avg") else None)
+            occupied = nonnull > 0
+            first = np.argmax(occupied, axis=1)
+            last = (nonnull.shape[1] - 1
+                    - np.argmax(occupied[:, ::-1], axis=1))
+            for j in np.flatnonzero(counts).tolist():
+                state = states[j]
+                state.counts[i] += int(counts[j])
+                if sums is not None:
+                    state.sums[i] += float(sums[j])
+                lo = dictionary.values[int(first[j]) + null_offset]
+                hi = dictionary.values[int(last[j]) + null_offset]
+                if isinstance(lo, np.generic):
+                    lo = lo.item()
+                if isinstance(hi, np.generic):
+                    hi = hi.item()
+                if state.mins[i] is None or lo < state.mins[i]:
+                    state.mins[i] = lo
+                if state.maxs[i] is None or hi > state.maxs[i]:
+                    state.maxs[i] = hi
+        return True
+
+    def _serialize_spill_run(self, batch: Batch, decoded_payload: int) -> None:
+        """Account the real size of one post-spill run written in code
+        space: encoded columns contribute their int32 code bytes, plain
+        columns their materialized width."""
+        written = 0
+        for arr in batch.columns.values():
+            if isinstance(arr, EncodedColumn):
+                written += arr.codes.nbytes
+            elif arr.dtype == object:
+                written += _object_column_bytes(arr, batch.length)
+            else:
+                written += arr.nbytes
+        self.spill_bytes_written += written
+        self.spill_bytes_decoded += decoded_payload
+
     def describe(self) -> str:
         """One-line human-readable summary of this node."""
-        spill = " SPILLED" if self.spilled else ""
+        spill = ""
+        if self.spilled:
+            spill = " SPILLED"
+            if self.spill_bytes_written:
+                spill += (f"(wrote {self.spill_bytes_written}B coded"
+                          f" of {self.spill_bytes_decoded}B decoded)")
         return (f"HashAggregate(by={self.group_by}, "
                 f"aggs={[a.output for a in self.aggregates]}){spill} "
                 f"[{self.mode}, dop={self.dop}]")
@@ -238,7 +433,7 @@ class StreamAggregate(_AggregateBase):
                         out_rows.append(self._finalize_row(current_key, state))
                     current_key = key
                     state = _GroupState(n_aggs)
-                self._update_state(state, arg_values, indices)
+                self._update_state(state, arg_values, indices, ctx)
         if state is not None:
             out_rows.append(self._finalize_row(current_key, state))
         result = rows_to_batch(out_rows, self.output_columns)

@@ -161,7 +161,9 @@ class HashJoin(PhysicalOperator):
         if len(self.probe_keys) != 1:
             if any(isinstance(batch.columns.get(k), EncodedColumn)
                    for k in self.probe_keys):
-                note_code_fallback(ctx)
+                note_code_fallback(
+                    ctx, reason=("hash join: multi-column probe key "
+                                 f"{self.probe_keys}"))
             return None
         column = batch.columns.get(self.probe_keys[0])
         if not isinstance(column, EncodedColumn):

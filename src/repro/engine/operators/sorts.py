@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.errors import ExecutionError
 from repro.engine.batch import Batch, concat_batches
+from repro.engine.encoded import EncodedColumn, note_code_hit
 from repro.engine.metrics import ExecutionContext
 from repro.engine.operators.base import PhysicalOperator
 
@@ -40,15 +41,34 @@ class SortKey:
 
 
 class Sort(PhysicalOperator):
-    """Full sort of the child's output by one or more keys."""
+    """Full sort of the child's output by one or more keys.
+
+    Sorting happens in *code space* whenever a key column arrives
+    encoded: the per-segment dictionaries are sorted ascending with NULL
+    first, and ``concat_batches`` preserves that invariant when it
+    merges dictionaries across rowgroups, so ordering by the int32 codes
+    produces exactly the permutation the decoded rank path computes
+    (equal value iff equal code, and ``np.lexsort`` is stable either
+    way). That is the code-space sort legality rule: dictionary sort
+    order must equal value order — which :meth:`Dictionary.build` and
+    the derived numeric code spaces guarantee by construction.
+
+    ``limit`` (set by the materializer when a TOP sits directly above)
+    enables the TOP-N fast path: a single encoded key selects the first
+    ``limit`` rows with ``argpartition`` over a (code, row-index)
+    composite instead of fully sorting, yielding the same rows in the
+    same order as the full stable sort. Modeled costs are charged for
+    the full sort either way — the fast path changes wall-clock only.
+    """
 
     def __init__(self, child: PhysicalOperator, keys: Sequence[SortKey],
-                 dop: int = 1):
+                 dop: int = 1, limit: Optional[int] = None):
         super().__init__(children=(child,), dop=dop)
         if not keys:
             raise ExecutionError("Sort needs at least one key")
         self.keys = list(keys)
         self.mode = child.mode
+        self.limit = limit
 
     @property
     def output_columns(self) -> List[str]:
@@ -82,7 +102,7 @@ class Sort(PhysicalOperator):
                 sort_cost *= cm.spill_cpu_multiplier
             ctx.charge_parallel_cpu(sort_cost, self.dop)
 
-            order = self._argsort(merged)
+            order = self._argsort(merged, ctx)
             result = merged.take(order)
         finally:
             # The grant must be returned even when sorting raises or the
@@ -91,20 +111,54 @@ class Sort(PhysicalOperator):
                 ctx.release_memory(payload)
         yield result
 
-    def _argsort(self, batch: Batch) -> np.ndarray:
+    def _argsort(self, batch: Batch, ctx: Optional[ExecutionContext] = None
+                 ) -> np.ndarray:
+        top_n = self._top_n_order(batch, ctx)
+        if top_n is not None:
+            return top_n
         # np.lexsort uses the last key as primary: feed keys reversed.
         arrays = []
         for key in reversed(self.keys):
             values = batch.column(key.column)
-            values = _sortable_array(values)
+            if isinstance(values, EncodedColumn):
+                # Code-space sort: dictionary order == value order, so
+                # the int32 codes are already rank keys (NULL first).
+                note_code_hit(ctx)
+                values = values.codes
+            else:
+                values = _sortable_array(values)
             if key.descending:
                 values = _descending_view(values)
             arrays.append(values)
         return np.lexsort(arrays)
 
+    def _top_n_order(self, batch: Batch,
+                     ctx: Optional[ExecutionContext]) -> Optional[np.ndarray]:
+        """TOP-N selection for a single encoded key: ``argpartition`` on
+        a (code, row-index) int64 composite. The row index makes the
+        composite unique, so the selected prefix and its order equal the
+        full stable sort's — ties resolve to input order in both paths.
+        """
+        if self.limit is None or len(self.keys) != 1:
+            return None
+        n = len(batch)
+        if self.limit >= n:
+            return None
+        values = batch.column(self.keys[0].column)
+        if not isinstance(values, EncodedColumn):
+            return None
+        note_code_hit(ctx)
+        codes = values.codes.astype(np.int64)
+        if self.keys[0].descending:
+            codes = -codes
+        composite = codes * n + np.arange(n, dtype=np.int64)
+        prefix = np.argpartition(composite, self.limit - 1)[:self.limit]
+        return prefix[np.argsort(composite[prefix])]
+
     def describe(self) -> str:
         """One-line human-readable summary of this node."""
-        return f"Sort({self.keys}) [{self.mode}, dop={self.dop}]"
+        limit = f", top={self.limit}" if self.limit is not None else ""
+        return f"Sort({self.keys}{limit}) [{self.mode}, dop={self.dop}]"
 
 
 def _sortable_array(values: np.ndarray) -> np.ndarray:

@@ -84,7 +84,14 @@ class Materializer:
             keys = [SortKey(name, descending) for name, descending in node.keys]
             return Sort(child, keys, dop=node.dop)
         if isinstance(node, TopNode):
-            return Top(self._build(node.inputs[0]), node.limit, dop=node.dop)
+            child = self._build(node.inputs[0])
+            if isinstance(child, Sort):
+                # TOP directly over a sort: let the sort select the
+                # first N rows in code space (argpartition) instead of
+                # fully ordering the input. Same rows, same modeled
+                # costs — wall-clock only.
+                child.limit = node.limit
+            return Top(child, node.limit, dop=node.dop)
         if isinstance(node, ProjectNode):
             child = self._build(node.inputs[0])
             outputs = [(name, ColumnRef(source))

@@ -279,7 +279,8 @@ class Optimizer:
                 alias, descriptor, "scan", list(needed),
                 ranges=ranges or None, residual=predicate)
             node.est_cost = cm.cost_csi_scan(
-                options, descriptor, table_rows, read_bytes, read_fraction)
+                options, descriptor, table_rows, read_bytes, read_fraction,
+                encodings=descriptor.column_encodings or None)
             node.est_rows = out_rows
             node.dop = cm.choose_dop(options, table_rows * read_fraction)
             return node

@@ -141,6 +141,11 @@ class ColumnstoreIndex:
         #: charged. Survives rebuild/reorganize: those swap the index's
         #: internals, not the index object.
         self.usage = IndexUsageStats()
+        #: Optional adaptive layout policy (ByteStore-style). When set,
+        #: REBUILD consults it with this index's DMV usage stats and may
+        #: force per-column encodings via ``compress_rowgroup``'s
+        #: ``encoding_overrides``; None keeps the smallest-size layout.
+        self.layout_policy = None
         if columns is None:
             columns = schema.columnstore_columns()
         self.columns = list(columns)
@@ -245,6 +250,22 @@ class ColumnstoreIndex:
             ))
             sizes[col] += int(len(self._delta) * delta_per_row * share / total_width)
         return sizes
+
+    def column_encodings(self) -> Dict[str, str]:
+        """Dominant physical encoding per column (by bytes stored) — the
+        layout the adaptive policy chose, surfaced for DMVs, tests, and
+        the compression-aware cost model (Kimura)."""
+        by_column: Dict[str, Dict[str, int]] = {
+            col: {} for col in self.columns}
+        for state in self._groups:
+            for col, segment in state.group.segments.items():
+                tally = by_column[col]
+                tally[segment.encoding] = (
+                    tally.get(segment.encoding, 0) + segment.size_bytes)
+        return {
+            col: (max(tally, key=tally.get) if tally else "raw")
+            for col, tally in by_column.items()
+        }
 
     def _delta_row_bytes(self) -> int:
         return sum(
@@ -562,6 +583,14 @@ class ColumnstoreIndex:
         and full-size row groups with tight min/max metadata.
         """
         trip(self.faults, "csi.rebuild.compress")
+        encoding_overrides = None
+        if self.layout_policy is not None:
+            decisions = self.layout_policy.choose(self.usage, self.columns)
+            encoding_overrides = {
+                column: decision.forced_encoding
+                for column, decision in decisions.items()
+                if decision.forced_encoding is not None
+            } or None
         try:
             live: List[Tuple[int, Row]] = []
             for state in self._groups:
@@ -591,7 +620,9 @@ class ColumnstoreIndex:
                     name: _column_array([values[i] for _, values in chunk])
                     for i, name in enumerate(self.columns)
                 }
-                group = compress_rowgroup(self.schema, column_data, rids)
+                group = compress_rowgroup(
+                    self.schema, column_data, rids,
+                    encoding_overrides=encoding_overrides)
                 self._register_group(new_groups, new_locations, group)
         except BaseException:
             self.invalidate_cached_segments()  # conservative on abort
@@ -737,15 +768,19 @@ class ColumnstoreIndex:
                     decoded = cache.get((self.object_id, group_index, name))
                 if decoded is None:
                     segment = group.column(name)
-                    if use_encoded and segment.dictionary is not None:
+                    code_space = segment.code_space() if use_encoded else None
+                    if code_space is not None:
                         # Late materialization: hand the consumer the
                         # int32 codes plus the shared dictionary instead
-                        # of decoding every string now. Modeled costs
+                        # of decoding now. Dictionary segments serve
+                        # their stored codes; numeric RLE / bit-packed
+                        # segments serve the code space derived from
+                        # their compressed representation (run values,
+                        # frame-of-reference offsets). Modeled costs
                         # (segment read + decode CPU below) are charged
                         # exactly as for the decoded path — only real
                         # wall-clock changes.
-                        decoded = EncodedColumn(
-                            segment.codes_array(), segment.dictionary)
+                        decoded = EncodedColumn(*code_space)
                     else:
                         decoded = segment.decode()
                     miss_bytes += segment.size_bytes

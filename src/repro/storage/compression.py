@@ -41,6 +41,14 @@ ENCODING_RAW = "raw"
 
 _RUN_HEADER_BYTES = 4  # run length counter per run
 
+#: Ceiling on the size of a *derived* numeric dictionary (see
+#: :meth:`ColumnSegment.code_space`): a numeric segment whose distinct
+#: run values / value span exceed this executes decoded — a wider code
+#: space would cost more to build than vectorized int64 execution saves.
+_DERIVED_DICT_MAX = 1 << 16
+
+_UNSET = object()
+
 
 def _bits_for(n_distinct: int) -> int:
     """Bits needed to store a code for one of ``n_distinct`` values."""
@@ -109,6 +117,29 @@ class Dictionary:
     def code_of(self, value: object) -> Optional[int]:
         """Exact-match code for ``value``; None when absent."""
         return self._lookup().get(value)
+
+    def integer_domain(self):
+        """The non-null dictionary values when they are all integers —
+        an int64 ndarray for numeric dictionaries, a Python list for
+        object dictionaries — or None when the domain is not purely
+        integral (floats must aggregate on materialized values: their
+        summation order affects rounding). Cached on the instance."""
+        cached = getattr(self, "_integer_domain", _UNSET)
+        if cached is not _UNSET:
+            return cached
+        non_null = self.values[self.null_offset:]
+        if self.values.dtype != object:
+            result = (non_null.astype(np.int64)
+                      if self.values.dtype.kind in "iu" else None)
+        else:
+            listed = non_null.tolist()
+            if all(isinstance(v, int) and not isinstance(v, bool)
+                   for v in listed):
+                result = listed
+            else:
+                result = None
+        self._integer_domain = result
+        return result
 
     def size_bytes(self) -> int:
         """Approximate on-disk size in bytes."""
@@ -184,6 +215,66 @@ class ColumnSegment:
         assert self.values is not None
         return self.values
 
+    def code_space(self) -> Optional[Tuple[np.ndarray, Dictionary]]:
+        """The segment's (codes, dictionary) pair for encoded execution,
+        or None when this segment has no usable code space.
+
+        Dictionary segments return their stored codes directly. Numeric
+        segments *derive* a code space from the compressed
+        representation — without touching the stored payload or
+        ``size_bytes``, so modeled costs and the on-disk format are
+        unchanged:
+
+        * RLE segments build a dictionary of their distinct run values
+          (``np.unique`` over runs, not rows) and emit per-run codes
+          repeated by run length — execution on (run-value, run-length)
+          pairs.
+        * Bit-packed / raw integer segments use frame-of-reference: the
+          dictionary is ``arange(min, max + 1)`` and the codes are
+          ``value - min`` — exactly the packed FOR codes the stored
+          representation implies.
+
+        The derived dictionary is sorted ascending with no NULL slot
+        (numeric arrays cannot hold None), so code order equals value
+        order and every code-space predicate/sort rule applies
+        unchanged. The result is cached on the segment instance: one
+        derivation per segment per lifetime, never per statement.
+        """
+        if self.dictionary is not None:
+            return self.codes_array(), self.dictionary
+        cached = getattr(self, "_code_space_cache", _UNSET)
+        if cached is not _UNSET:
+            return cached
+        derived = self._derive_code_space()
+        self._code_space_cache = derived
+        return derived
+
+    def _derive_code_space(self) -> Optional[Tuple[np.ndarray, Dictionary]]:
+        if self.encoding == ENCODING_RLE:
+            run_values = self.run_values
+            if run_values is None or run_values.dtype == object:
+                return None
+            distinct = np.unique(run_values)
+            if len(distinct) > _DERIVED_DICT_MAX:
+                return None
+            run_codes = np.searchsorted(distinct, run_values).astype(np.int32)
+            codes = np.repeat(run_codes, self.run_lengths)
+            return codes, Dictionary(values=distinct)
+        values = self.values
+        if values is None or values.dtype == object:
+            return None
+        if values.dtype.kind not in "iu":
+            return None  # fractional values cannot be FOR-coded
+        if self.min_value is None or self.max_value is None:
+            return None
+        lo = int(self.min_value)
+        span = int(self.max_value) - lo
+        if span + 1 > _DERIVED_DICT_MAX:
+            return None
+        dict_values = np.arange(lo, lo + span + 1, dtype=values.dtype)
+        codes = (values - lo).astype(np.int32)
+        return codes, Dictionary(values=dict_values)
+
     def overlaps(self, low: object, high: object) -> bool:
         """Min/max check used for segment elimination: can any value in
         [low, high] exist in this segment? ``None`` bounds are open."""
@@ -208,12 +299,21 @@ def _segment_min_max(values: np.ndarray) -> Tuple[object, object]:
 
 
 def encode_segment(column: str, values: np.ndarray, value_bytes: int,
-                   dictionary: Optional[Dictionary] = None) -> ColumnSegment:
+                   dictionary: Optional[Dictionary] = None,
+                   forced_encoding: Optional[str] = None) -> ColumnSegment:
     """Choose the smallest encoding for ``values`` and build the segment.
 
     ``values`` must already be in the row group's final (sorted) order.
     ``value_bytes`` is the uncompressed per-value width; with a dictionary,
     the encoded width is the code width.
+
+    ``forced_encoding`` overrides the smallest-size choice — the hook the
+    adaptive layout policy uses to trade size for access pattern (e.g.
+    positional bit-packed codes for point-lookup-heavy columns instead
+    of RLE, which needs a run prefix-sum to answer "value at position
+    i"). The segment's ``size_bytes`` is always the size of the
+    representation actually built, so forcing a layout is honestly
+    reflected in storage accounting.
     """
     n = len(values)
     if n == 0:
@@ -252,6 +352,29 @@ def encode_segment(column: str, values: np.ndarray, value_bytes: int,
     raw_size = int(n * code_bytes) + dict_overhead
 
     min_value, max_value = _segment_min_max(values)
+    if forced_encoding is not None:
+        if forced_encoding == ENCODING_RLE:
+            return ColumnSegment(
+                column=column, n_rows=n, encoding=ENCODING_RLE,
+                size_bytes=rle_size, min_value=min_value, max_value=max_value,
+                run_values=run_values, run_lengths=run_lengths,
+                dictionary=dictionary,
+            )
+        if dictionary is not None:
+            # Positional layout for a dictionary column: bit-packed codes.
+            return ColumnSegment(
+                column=column, n_rows=n, encoding=ENCODING_DICT,
+                size_bytes=pack_size, min_value=min_value,
+                max_value=max_value, values=stored, dictionary=dictionary,
+            )
+        size = raw_size if forced_encoding == ENCODING_RAW else pack_size
+        encoding = (ENCODING_RAW if forced_encoding == ENCODING_RAW
+                    else ENCODING_BITPACK)
+        return ColumnSegment(
+            column=column, n_rows=n, encoding=encoding, size_bytes=size,
+            min_value=min_value, max_value=max_value,
+            values=stored, dictionary=dictionary,
+        )
     best = min(rle_size, pack_size, raw_size)
     if best == rle_size:
         return ColumnSegment(
@@ -315,6 +438,7 @@ def compress_rowgroup(
     columns: Dict[str, np.ndarray],
     rids: np.ndarray,
     presorted: bool = False,
+    encoding_overrides: Optional[Dict[str, str]] = None,
 ) -> CompressedRowGroup:
     """Compress one row group.
 
@@ -323,6 +447,10 @@ def compress_rowgroup(
     maximise run lengths, and ``rids`` is permuted alongside, so stored
     position is decoupled from arrival order — exactly why primary
     columnstores need a scan to locate a row (Section 2).
+
+    ``encoding_overrides`` maps column name to a forced encoding (see
+    :func:`encode_segment`) — the adaptive layout policy's entry point
+    at rebuild time; absent columns keep the smallest-size choice.
     """
     names = list(columns)
     if not names:
@@ -349,8 +477,10 @@ def compress_rowgroup(
         dictionary = None
         if values.dtype == object or col_type.kind is TypeKind.VARCHAR:
             dictionary = Dictionary.build(values)
+        forced = encoding_overrides.get(name) if encoding_overrides else None
         segments[name] = encode_segment(
-            name, values, col_type.byte_width, dictionary
+            name, values, col_type.byte_width, dictionary,
+            forced_encoding=forced,
         )
     return CompressedRowGroup(
         segments=segments, rids=np.asarray(rids), n_rows=n, sort_order=sort_order

@@ -22,16 +22,21 @@ operators treat batch columns as immutable (filters and projections copy),
 which is what makes the sharing safe.
 
 With encoded execution on (the default,
-:mod:`repro.engine.encoded`), dictionary-bearing segments are cached as
-:class:`~repro.engine.encoded.EncodedColumn` objects — int32 codes plus
-the shared dictionary — instead of decoded object arrays. The entry
-*represents* the same decoded segment, so budget accounting is unchanged:
-``EncodedColumn`` reports ``dtype == object`` and the same length, and
-:func:`_array_bytes` therefore charges the same 24 bytes/element it
-charges a decoded string array. Hit/miss/eviction behaviour — and every
-figure that reports it — is byte-identical either way. If encoded
-execution is toggled off after codes were cached, the scan materializes
-the cached entry on the way out (see ``ColumnstoreIndex.scan``).
+:mod:`repro.engine.encoded`), code-space-capable segments — dictionary
+string segments and numeric RLE / bit-packed segments — are cached as
+:class:`~repro.engine.encoded.EncodedColumn` objects: int32 codes plus
+the shared per-segment dictionary. Such entries are charged at their
+*stored* size (``EncodedColumn.stored_bytes``, the int32 code array;
+the dictionary belongs to the segment, which outlives the cache entry)
+rather than the decoded width — codes are what actually occupies cache
+memory, and charging decoded width would leave most of the budget
+unusable. The resulting hit/miss counters are still identical across
+modes on a fixed access sequence as long as the budget holds both
+representations; the byte totals legitimately differ and are asserted
+against what is actually resident by the differential accounting test.
+If encoded execution is toggled off after codes were cached, the scan
+materializes the cached entry on the way out (see
+``ColumnstoreIndex.scan``).
 
 One cache is owned per :class:`~repro.storage.database.Database` and is
 **disabled by default** so that cold-run experiments and the paper's
@@ -62,8 +67,16 @@ DEFAULT_SEGMENT_CACHE_BUDGET = 64 * 1024 * 1024
 _OBJECT_ELEMENT_BYTES = 24
 
 
-def _array_bytes(array: np.ndarray) -> int:
-    """Budget-accounting size of one decoded array."""
+def _array_bytes(array) -> int:
+    """Budget-accounting size of one cached array.
+
+    Encoded entries charge their stored code bytes (the int32 array that
+    is actually resident), decoded object arrays the per-element string
+    heuristic, numeric arrays their true ``nbytes``.
+    """
+    stored = getattr(array, "stored_bytes", None)
+    if stored is not None:  # EncodedColumn
+        return int(stored)
     if array.dtype == object:
         return len(array) * _OBJECT_ELEMENT_BYTES
     return int(array.nbytes)

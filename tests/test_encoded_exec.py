@@ -132,10 +132,20 @@ class TestEncodedColumnUnit:
         assert joined.materialize().tolist() == [
             "a", "b", None, "c", "a", "a", "b"]
 
-    def test_concat_different_dictionaries_returns_none(self):
+    def test_concat_different_dictionaries_merges(self):
+        # Batches from different rowgroups carry distinct per-segment
+        # dictionaries; concatenation merges them (sorted union, NULL
+        # first) and remaps codes so the result stays in code space.
         other = EncodedColumn(
             np.array([0]), Dictionary.build(np.array(["x"], dtype=object)))
-        assert concat_encoded([self.make(), other]) is None
+        joined = concat_encoded([self.make(), other])
+        assert isinstance(joined, EncodedColumn)
+        assert joined.materialize().tolist() == [
+            "a", "b", None, "c", "a", "x"]
+        # The merged dictionary preserves the sortedness invariant, so
+        # code order still equals value order (code-space sort legality).
+        assert joined.dictionary.values[0] is None
+        assert list(joined.dictionary.values[1:]) == ["a", "b", "c", "x"]
 
     def test_flag_roundtrip(self):
         prev = set_encoded_execution(False)
@@ -265,8 +275,13 @@ class TestEncodedWithSegmentCache:
         assert cold_path.metrics.code_path_hits == 0
 
     def test_cache_accounting_identical_across_modes(self):
+        # Hit/miss/eviction counts and residency are mode-independent;
+        # byte totals legitimately differ (encoded entries are charged
+        # at stored code width, decoded ones at decoded width) and are
+        # checked against residency in test_cache_bytes_match_residency.
         sql = "SELECT count(*) FROM t WHERE city = 'athens'"
         stats = {}
+        resident_bytes = {}
         for enabled in (False, True):
             prev = set_encoded_execution(enabled)
             try:
@@ -276,11 +291,462 @@ class TestEncodedWithSegmentCache:
                 executor.execute(sql)
                 cache = db.segment_cache
                 stats[enabled] = (cache.stats.hits, cache.stats.misses,
-                                  cache.stats.evictions, cache.bytes_cached,
-                                  len(cache))
+                                  cache.stats.evictions, len(cache))
+                resident_bytes[enabled] = cache.bytes_cached
             finally:
                 set_encoded_execution(prev)
         assert stats[True] == stats[False]
+        # Codes are never wider than the decoded representation.
+        assert resident_bytes[True] <= resident_bytes[False]
+
+    def test_cache_bytes_match_residency(self):
+        # The differential accounting audit: the cache's byte counter
+        # must equal the sum of the accounting sizes of the entries that
+        # are actually resident — encoded entries at their stored int32
+        # code width, decoded arrays at their decoded width.
+        from repro.storage.segment_cache import _array_bytes
+
+        for enabled in (False, True):
+            prev = set_encoded_execution(enabled)
+            try:
+                db = make_db(cache=True)
+                executor = Executor(db)
+                executor.execute(
+                    "SELECT city, region, qty FROM t WHERE qty >= 0")
+                cache = db.segment_cache
+                resident = sum(_array_bytes(entry)
+                               for entry in cache._entries.values())
+                assert cache.bytes_cached == resident
+                for entry in cache._entries.values():
+                    if isinstance(entry, EncodedColumn):
+                        assert _array_bytes(entry) == entry.codes.nbytes
+            finally:
+                set_encoded_execution(prev)
+
+
+def numeric_schema():
+    return TableSchema("n", [
+        Column("id", INT, nullable=False),      # frame-of-reference codes
+        Column("bucket", INT, nullable=False),  # long runs -> numeric RLE
+        Column("meter", INT),                   # nullable ints, with NULLs
+        Column("wide", INT, nullable=False),    # huge span -> decoded path
+    ])
+
+
+def numeric_rows(n=4000):
+    return [
+        (i, (i * 3) // n, i % 13 if i % 9 else None, i * 40_000)
+        for i in range(n)
+    ]
+
+
+def make_numeric_db(n=4000):
+    db = Database()
+    table = db.create_table(numeric_schema())
+    table.bulk_load(numeric_rows(n))
+    table.set_primary_columnstore(rowgroup_size=1024)
+    return db
+
+
+class TestNumericCodeSpaceUnit:
+    """Derived code spaces for dictionary-less numeric segments."""
+
+    def _segment(self, values, nullable=True):
+        arr = values if isinstance(values, np.ndarray) else np.array(values)
+        group = compress_rowgroup(
+            TableSchema("g", [Column("x", INT, nullable=nullable)]),
+            {"x": arr}, rids=np.arange(len(arr)))
+        return group.segments["x"]
+
+    def test_numeric_rle_derives_sorted_dictionary(self):
+        segment = self._segment(
+            np.repeat(np.array([7, 3, 3, 11], dtype=np.int64), 500),
+            nullable=False)
+        assert segment.encoding == ENCODING_RLE
+        assert segment.dictionary is None
+        codes, dictionary = segment.code_space()
+        assert dictionary.values.tolist() == [3, 7, 11]
+        col = EncodedColumn(codes, dictionary)
+        np.testing.assert_array_equal(col.materialize(), segment.decode())
+
+    def test_bitpacked_ints_derive_frame_of_reference(self):
+        segment = self._segment(
+            np.arange(100, 3100, dtype=np.int64), nullable=False)
+        code_space = segment.code_space()
+        assert code_space is not None
+        codes, dictionary = code_space
+        # FOR dictionary: contiguous [lo, hi], codes = value - lo.
+        assert dictionary.values[0] == 100
+        col = EncodedColumn(codes, dictionary)
+        np.testing.assert_array_equal(col.materialize(), segment.decode())
+
+    def test_huge_span_has_no_code_space(self):
+        segment = self._segment(
+            np.arange(3000, dtype=np.int64) * 40_000, nullable=False)
+        assert segment.code_space() is None
+
+    def test_derived_code_space_is_cached(self):
+        segment = self._segment(
+            np.repeat(np.array([1, 2], dtype=np.int64), 1000),
+            nullable=False)
+        first = segment.code_space()
+        assert segment.code_space() is first
+
+    def test_nullable_ints_dictionary_encode_with_null_first(self):
+        values = np.array([5, None, 2, 5, None, 9], dtype=object)
+        segment = self._segment(values)
+        codes, dictionary = segment.code_space()
+        assert dictionary.values[0] is None
+        col = EncodedColumn(codes, dictionary)
+        assert col.materialize().tolist() == segment.decode().tolist()
+
+
+class TestNumericDifferential:
+    """Numeric code paths: identical rows and modeled metrics with the
+    encoded flag on and off (the encoded run only changes wall-clock)."""
+
+    def test_rle_group_by_with_sums(self):
+        on, _ = assert_differential(
+            "SELECT bucket, count(*) c, sum(id) s FROM n "
+            "GROUP BY bucket ORDER BY bucket", db_factory=make_numeric_db)
+        assert on.metrics.code_path_hits > 0
+
+    def test_aggregates_over_nullable_ints(self):
+        assert_differential(
+            "SELECT count(*), sum(meter), min(meter), max(meter), "
+            "avg(meter) FROM n", db_factory=make_numeric_db)
+
+    def test_equality_filter_on_rle_ints(self):
+        on, _ = assert_differential(
+            "SELECT count(*) FROM n WHERE bucket = 1",
+            db_factory=make_numeric_db)
+        assert on.metrics.code_path_hits > 0
+
+    def test_range_filter_on_frame_of_reference_codes(self):
+        assert_differential(
+            "SELECT count(*) FROM n WHERE id >= 100 AND id < 1000",
+            db_factory=make_numeric_db)
+
+    def test_group_by_nullable_ints_with_nulls(self):
+        assert_differential(
+            "SELECT meter, count(*) c FROM n GROUP BY meter "
+            "ORDER BY c, meter", db_factory=make_numeric_db)
+
+    def test_huge_span_column_still_matches(self):
+        # 'wide' has no code space: the encoded run serves it decoded
+        # and must stay byte-for-byte equivalent.
+        assert_differential(
+            "SELECT count(*), sum(wide) FROM n WHERE wide > 1000000",
+            db_factory=make_numeric_db)
+
+    def test_order_by_numeric_codes(self):
+        assert_differential(
+            "SELECT bucket, id FROM n WHERE meter = 5 "
+            "ORDER BY bucket, id", db_factory=make_numeric_db)
+
+    def test_numeric_delta_store_rows_mix_in(self):
+        def factory():
+            db = make_numeric_db(n=2000)
+            Executor(db).execute(
+                "INSERT INTO n (id, bucket, meter, wide) "
+                "VALUES (9001, 1, 5, 12), (9002, 2, NULL, 13)")
+            return db
+        assert_differential(
+            "SELECT bucket, count(*) c, sum(meter) s FROM n "
+            "GROUP BY bucket ORDER BY bucket", db_factory=factory)
+
+
+class TestCodeSpaceSortTopN:
+    def test_top_n_matches_full_sort(self):
+        on, _ = assert_differential(
+            "SELECT TOP 10 city, id FROM t ORDER BY city",
+            db_factory=make_db)
+        assert len(on.rows) == 10
+
+    def test_top_n_descending(self):
+        assert_differential(
+            "SELECT TOP 7 city FROM t ORDER BY city DESC",
+            db_factory=make_db)
+
+    def test_top_n_numeric(self):
+        assert_differential(
+            "SELECT TOP 5 bucket, id FROM n ORDER BY bucket",
+            db_factory=make_numeric_db)
+
+    def test_sort_unit_top_n_prefix_equals_stable_sort(self):
+        from repro.engine.batch import Batch
+        from repro.engine.operators.sorts import Sort, SortKey
+
+        data = np.array(["b", "a", "c", "a", "b", "a"] * 50, dtype=object)
+        dictionary = Dictionary.build(data)
+        col = EncodedColumn(dictionary.encode(data), dictionary)
+        batch = Batch({"k": col})
+        for descending in (False, True):
+            sort = Sort.__new__(Sort)
+            sort.keys = [SortKey("k", descending=descending)]
+            sort.limit = 9
+            top = sort._top_n_order(batch, None)
+            assert top is not None
+            sort.limit = None  # full stable sort for comparison
+            full = sort._argsort(batch)
+            sort.limit = 9
+            np.testing.assert_array_equal(top, full[:9])
+
+    def test_top_n_early_close_releases_grant(self):
+        from repro.engine.metrics import ExecutionContext
+        from repro.engine.operators.sorts import Sort, SortKey
+        from repro.engine.operators.base import PhysicalOperator
+        from repro.engine.batch import Batch
+
+        data = np.array(["b", "a", "c"] * 2000, dtype=object)
+        dictionary = Dictionary.build(data)
+
+        class _Feed(PhysicalOperator):
+            mode = "batch"
+
+            def __init__(self):
+                super().__init__(children=())
+
+            @property
+            def output_columns(self):
+                return ["k"]
+
+            def execute(self, ctx):
+                yield Batch(
+                    {"k": EncodedColumn(dictionary.encode(data),
+                                        dictionary)})
+
+        sort = Sort(_Feed(), [SortKey("k")], limit=3)
+        ctx = ExecutionContext()
+        gen = sort.execute(ctx)
+        first = next(gen)
+        assert len(first) >= 3
+        gen.close()
+        assert ctx.memory_in_use == 0
+
+
+class TestSpillingAggregates:
+    SQL = ("SELECT city, qty, count(*) c, sum(id) s FROM t "
+           "GROUP BY city, qty ORDER BY c, city, qty")
+
+    def run_both(self):
+        off = run_query(
+            lambda: make_db(n=6000), self.SQL, enabled=False)
+        on = run_query(
+            lambda: make_db(n=6000), self.SQL, enabled=True)
+        return on, off
+
+    def run_tight(self, enabled):
+        prev = set_encoded_execution(enabled)
+        try:
+            return Executor(make_db(n=6000)).execute(
+                self.SQL, memory_grant_bytes=2048)
+        finally:
+            set_encoded_execution(prev)
+
+    def test_spill_differential_under_tight_grant(self):
+        on = self.run_tight(True)
+        off = self.run_tight(False)
+        assert on.metrics.spilled_bytes > 0
+        assert on.rows == off.rows
+        assert metrics_dict(on) == metrics_dict(off)
+
+    def test_spill_runs_serialize_codes_not_values(self):
+        # The modeled spill charge is identical across modes; the real
+        # serialized bytes are the compact code representation, tracked
+        # as operator-level counters.
+        from repro.engine.metrics import ExecutionContext
+        from repro.engine.operators import (
+            AggregateSpec,
+            ColumnstoreScan,
+            HashAggregate,
+        )
+        from repro.engine.expressions import ColumnRef
+
+        prev = set_encoded_execution(True)
+        try:
+            db = make_db(n=6000)
+            table = db.table("t")
+            agg = HashAggregate(
+                ColumnstoreScan(table, table.primary, ["city", "qty"]),
+                ["city", "qty"],
+                [AggregateSpec("count", None, "c")])
+            ctx = ExecutionContext(memory_grant_bytes=2048)
+            list(agg.execute(ctx))
+        finally:
+            set_encoded_execution(prev)
+        assert agg.spilled
+        assert agg.spill_bytes_written > 0
+        assert agg.spill_bytes_written < agg.spill_bytes_decoded
+        assert "SPILLED" in agg.describe()
+
+
+class TestAdaptiveLayouts:
+    """ByteStore-style adaptive per-column layouts: the DMV-observed
+    access mix drives the encodings a REBUILD chooses, both directions."""
+
+    def _index(self):
+        db = make_numeric_db(n=3000)
+        return db, db.table("n").primary
+
+    def test_point_heavy_mix_switches_to_positional(self):
+        from repro.storage.layout import AdaptiveLayoutPolicy
+
+        db, index = self._index()
+        index.layout_policy = AdaptiveLayoutPolicy()
+        before = index.column_encodings()
+        assert before["bucket"] == ENCODING_RLE
+        index.usage.reset()
+        for _ in range(200):
+            index.usage.record_seek()
+        index.rebuild()
+        after = index.column_encodings()
+        assert after["bucket"] == "bitpack"
+        # Rows survive the layout flip untouched.
+        assert Executor(db).execute(
+            "SELECT count(*) FROM n").scalar() == 3000
+
+    def test_scan_heavy_mix_switches_back(self):
+        from repro.storage.layout import AdaptiveLayoutPolicy
+
+        db, index = self._index()
+        index.layout_policy = AdaptiveLayoutPolicy()
+        index.usage.reset()
+        for _ in range(200):
+            index.usage.record_seek()
+        index.rebuild()
+        assert index.column_encodings()["bucket"] == "bitpack"
+        index.usage.reset()
+        for _ in range(200):
+            index.usage.record_scan()
+        index.rebuild()
+        assert index.column_encodings()["bucket"] == ENCODING_RLE
+
+    def test_few_observations_keep_default_layout(self):
+        from repro.storage.layout import AdaptiveLayoutPolicy
+
+        db, index = self._index()
+        index.layout_policy = AdaptiveLayoutPolicy(min_observations=16)
+        index.usage.reset()
+        index.usage.record_seek()
+        decisions = index.layout_policy.choose(index.usage, index.columns)
+        assert all(d.forced_encoding is None for d in decisions.values())
+        assert all("keeping" in d.reason for d in decisions.values())
+
+    def test_size_bytes_reflects_forced_encoding(self):
+        db, index = self._index()
+        before = index.size_bytes()
+        from repro.storage.layout import AdaptiveLayoutPolicy
+        index.layout_policy = AdaptiveLayoutPolicy()
+        index.usage.reset()
+        for _ in range(200):
+            index.usage.record_seek()
+        index.rebuild()
+        # Positional bitpack forgoes RLE on the run-friendly column, so
+        # the truthful size grows.
+        assert index.size_bytes() > before
+
+
+class TestCompressionAwareCosting:
+    """Kimura-style costing: decode CPU differs by scheme, opt-in only."""
+
+    def _options(self, aware):
+        from repro.optimizer.cost_model import CostModel, CostingOptions
+        return CostingOptions(cost_model=CostModel(),
+                              compression_aware=aware)
+
+    def _descriptor(self, encodings):
+        from repro.optimizer.whatif import hypothetical_columnstore
+        return hypothetical_columnstore(
+            "t", ["a", "b"], {"a": 1000, "b": 1000},
+            column_encodings=encodings)
+
+    def test_flag_off_is_numerically_identical(self):
+        from repro.optimizer import cost_model as cm
+
+        descriptor = self._descriptor({"a": "rle", "b": "rle"})
+        baseline = cm.cost_csi_scan(
+            self._options(False), descriptor, 100_000,
+            {"a": 1000, "b": 1000})
+        with_enc = cm.cost_csi_scan(
+            self._options(False), descriptor, 100_000,
+            {"a": 1000, "b": 1000},
+            encodings=descriptor.column_encodings)
+        assert with_enc == baseline
+
+    def test_same_sizes_different_encodings_different_costs(self):
+        from repro.optimizer import cost_model as cm
+
+        options = self._options(True)
+        cost_rle = cm.cost_csi_scan(
+            options, self._descriptor({"a": "rle", "b": "rle"}),
+            100_000, {"a": 1000, "b": 1000},
+            encodings={"a": "rle", "b": "rle"})
+        cost_dict = cm.cost_csi_scan(
+            options, self._descriptor({"a": "dict", "b": "dict"}),
+            100_000, {"a": 1000, "b": 1000},
+            encodings={"a": "dict", "b": "dict"})
+        assert cost_rle < cost_dict
+
+    def test_run_modelling_emits_encodings(self):
+        from repro.advisor.size_estimation import estimate_run_modelling
+
+        db = make_numeric_db(n=2000)
+        estimate = estimate_run_modelling(
+            db.table("n"), ["id", "bucket"], sampling_ratio=0.5)
+        assert set(estimate.column_encodings) == {"id", "bucket"}
+        assert all(e in ("rle", "dict", "bitpack", "raw")
+                   for e in estimate.column_encodings.values())
+
+    def test_real_descriptors_carry_encodings(self):
+        from repro.optimizer.catalog import describe_physical_index
+
+        db = make_numeric_db(n=2000)
+        table = db.table("n")
+        descriptor = describe_physical_index(table, table.primary)
+        assert descriptor.column_encodings == table.primary.column_encodings()
+
+
+class TestConcurrentEncodedSessions:
+    def test_four_sessions_morsel_scans_match_serial_decoded(self):
+        import threading
+
+        from repro.server.session import SessionManager
+
+        sqls = [
+            "SELECT city, count(*) c FROM t GROUP BY city ORDER BY c, city",
+            "SELECT count(*) FROM t WHERE city >= 'berlin'",
+            "SELECT region, sum(qty) q FROM t GROUP BY region ORDER BY region",
+            "SELECT count(*) FROM t WHERE city IN ('athens', 'delhi')",
+        ]
+        expected = {
+            sql: run_query(lambda: make_db(n=8000), sql, enabled=False).rows
+            for sql in sqls
+        }
+        db = make_db(n=8000)
+        results = {}
+        errors = []
+
+        def worker(sql):
+            try:
+                with manager.session(cold=True) as session:
+                    results[sql] = session.execute(sql).rows
+            except Exception as exc:  # pragma: no cover - diagnostics
+                errors.append((sql, exc))
+
+        prev = set_encoded_execution(True)
+        try:
+            with SessionManager(db, morsel_workers=4) as manager:
+                threads = [threading.Thread(target=worker, args=(sql,))
+                           for sql in sqls]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+        finally:
+            set_encoded_execution(prev)
+        assert not errors
+        assert results == expected
 
 
 class TestScanProducesEncodedColumns:
