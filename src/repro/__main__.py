@@ -504,9 +504,22 @@ def _cmd_serve(args) -> int:
     if args.data_dir and os.path.exists(
             os.path.join(args.data_dir, SNAPSHOT_FILENAME)):
         # Existing durable directory: crash-recover it and serve that.
-        database = Database.open(args.data_dir)
+        # With --pool-mb the snapshot opens lazily behind a demand-paging
+        # buffer pool, so the served tables may exceed memory.
+        if args.pool_mb is not None:
+            database = Database.open(
+                args.data_dir, paging=True,
+                pool_bytes=args.pool_mb * 1024 * 1024)
+            print(f"demand paging: {args.pool_mb} MiB buffer pool over "
+                  f"{os.path.join(args.data_dir, SNAPSHOT_FILENAME)}")
+        else:
+            database = Database.open(args.data_dir)
         print(database.last_recovery.summary())
     else:
+        if args.pool_mb is not None:
+            raise SystemExit(
+                "--pool-mb needs an existing durable --data-dir (build "
+                "one first: serve with --data-dir, then restart)")
         database = build_ch_database(n_warehouses=args.warehouses)
         if args.data_dir:
             # Build in memory (fast, unlogged), then snapshot + attach
@@ -717,6 +730,12 @@ def main(argv=None) -> int:
                             "serve it if it holds a snapshot, else "
                             "build the CH database and make it durable "
                             "there (WAL + checkpoint on shutdown)")
+    serve.add_argument("--pool-mb", type=int, default=None,
+                       help="demand-page the snapshot through a buffer "
+                            "pool of this many MiB instead of loading "
+                            "it fully into memory (requires an existing "
+                            "--data-dir snapshot; enables serving "
+                            "tables larger than memory)")
 
     recover = sub.add_parser(
         "recover",

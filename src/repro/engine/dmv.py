@@ -236,9 +236,13 @@ def query_stats_rows(query_store) -> List[Tuple[object, ...]]:
 def memory_cache_rows(database: Database,
                       buffer_pool=None) -> List[Tuple[object, ...]]:
     """``dm_os_memory_cache_counters``: the shared decoded-segment cache,
-    plus an optional :class:`~repro.storage.bufferpool.BufferPool` when
-    the caller tracks one (the engine models warm runs without a
-    database-attached pool)."""
+    plus a :class:`~repro.storage.bufferpool.BufferPool` when one exists
+    — either the database's own demand-paging pool
+    (``Database.open(..., paging=True)``) or a modeled pool the caller
+    tracks. Byte math derives from the pool's real accounting
+    (``bytes_resident``/``budget_bytes``, both rooted in the single
+    :data:`~repro.storage.bufferpool.PAGE_BYTES` constant shared with the
+    on-disk format) instead of a hardcoded page size."""
     cache = database.segment_cache
     stats = cache.stats
     rows = [(
@@ -246,12 +250,13 @@ def memory_cache_rows(database: Database,
         stats.hits, stats.misses, stats.evictions,
         round(stats.hit_ratio, 6), 1 if cache.enabled else 0,
     )]
+    if buffer_pool is None:
+        buffer_pool = getattr(database, "buffer_pool", None)
     if buffer_pool is not None:
-        total_pages = len(buffer_pool)
         rows.append((
-            "buffer_pool", total_pages, total_pages * 8192,
-            buffer_pool.capacity_pages * 8192,
-            buffer_pool.hits, buffer_pool.misses, 0,
+            "buffer_pool", len(buffer_pool), buffer_pool.bytes_resident,
+            buffer_pool.budget_bytes,
+            buffer_pool.hits, buffer_pool.misses, buffer_pool.evictions,
             round(buffer_pool.hit_ratio, 6), 1,
         ))
     return rows

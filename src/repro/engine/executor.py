@@ -217,7 +217,8 @@ class Executor:
             return
         for name in materialize_system_views(
                 self.database, names=referenced,
-                query_store=self.query_store):
+                query_store=self.query_store,
+                buffer_pool=getattr(self.database, "buffer_pool", None)):
             self.catalog.invalidate(name)
 
     def _optimizer(self, memory_grant_bytes: Optional[int],

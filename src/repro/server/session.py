@@ -270,6 +270,14 @@ class SessionManager:
         self._next_session_id = 1
         self._lock = threading.Lock()
 
+    @property
+    def buffer_pool(self):
+        """The database's demand-paging buffer pool (None unless it was
+        opened with ``paging=True``). One pool serves every session and
+        every morsel worker — the pool's internal lock is what makes the
+        shared read path safe, mirroring the decoded segment cache."""
+        return getattr(self.database, "buffer_pool", None)
+
     # ----------------------------------------------------------- sessions
     def session(self, encoded_execution: Optional[bool] = None,
                 cold: bool = False) -> Session:

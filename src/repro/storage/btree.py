@@ -442,8 +442,11 @@ class _BTreeIndexBase:
         return len(self.tree)
 
     def size_bytes(self) -> int:
-        """Approximate on-disk size: entries plus ~2% internal overhead."""
-        data = len(self.tree) * self.entry_byte_width
+        """Approximate on-disk size: entries plus ~2% internal overhead.
+
+        Uses ``len(self)`` (not ``len(self.tree)``) so sizing a paged
+        index reads the resident item count instead of materializing."""
+        data = len(self) * self.entry_byte_width
         return int(data * 1.02) + 8192
 
     def _make_key(self, row: Row, rid: int) -> Key:
@@ -731,6 +734,281 @@ class SecondaryBTreeIndex(_BTreeIndexBase):
     def scan(self, ctx: Optional[ExecutionContext] = None) -> Iterator[Tuple[int, Row]]:
         """Iterate the structure's rows/batches in storage order."""
         yield from self.seek_range(None, None, ctx)
+
+
+class PagedLeafSource:
+    """Demand-paged leaf storage of one B+ index.
+
+    The lazy snapshot loader hands each paged index one of these: the
+    resident half is tiny (item count, one fence key per leaf page, page
+    locations), the leaf pages themselves are fetched through the buffer
+    pool on first touch and evicted LRU under its budget. ``fences[i]``
+    is the first key of leaf page ``i`` — a one-level "internal node"
+    kept in memory, exactly the tentpole's contract (catalog and B+
+    internal structure resident, leaves paged).
+
+    ``read_page(offset, length)`` decodes one PT_BTREE_LEAF page into
+    its (key, value) item list; it is supplied by
+    :mod:`repro.storage.pages` so this module stays codec-free.
+    """
+
+    __slots__ = ("pool", "object_id", "n_items", "fences", "page_locs",
+                 "read_page")
+
+    def __init__(self, pool, object_id: int, n_items: int,
+                 fences: Sequence[Key],
+                 page_locs: Sequence[Tuple[int, int, int]],
+                 read_page) -> None:
+        self.pool = pool
+        self.object_id = object_id
+        self.n_items = n_items
+        self.fences = [tuple(f) for f in fences]
+        #: (snapshot page id, byte offset, byte length) per leaf page.
+        self.page_locs = list(page_locs)
+        self.read_page = read_page
+
+    @property
+    def n_pages(self) -> int:
+        return len(self.page_locs)
+
+    def fetch(self, page_no: int, pin: bool = False) -> List[Tuple[Key, Row]]:
+        """Items of one leaf page, faulting it in through the pool."""
+        page_id, offset, length = self.page_locs[page_no]
+        return self.pool.get_or_load(
+            (self.object_id, page_id),
+            lambda: (self.read_page(offset, length), length),
+            pin=pin,
+        )
+
+    def unpin(self, page_no: int) -> None:
+        self.pool.unpin((self.object_id, self.page_locs[page_no][0]))
+
+    def evict(self) -> None:
+        """Drop every resident leaf page of this index from the pool."""
+        self.pool.evict_object(self.object_id)
+
+
+class _PagedBTreeMixin:
+    """Demand-paged read paths for a B+ index restored lazily.
+
+    While paged, seeks and scans route through the leaf-fence array and
+    fetch only the touched leaf pages (pinned for the duration of the
+    read). Any access that needs the full in-memory tree — a mutation,
+    ``check_invariants``, a checkpoint's ``tree.items()`` — goes through
+    the ``tree`` property, which transparently **materializes**: all
+    leaf pages are read once, bulk-loaded into a real
+    :class:`BPlusTree`, and the paged pages evicted from the pool. After
+    materialization the index is indistinguishable from an eagerly
+    restored one, so correctness never depends on staying paged.
+
+    Modeled-cost parity: ``_charge_traversal`` of a paged index charges
+    the height the materialized tree *would* have (the deterministic
+    ``bulk_load`` shape recomputed from the item count), so modeled
+    metrics are identical whether or not the index ever materializes.
+    """
+
+    _paged: Optional[PagedLeafSource] = None
+
+    def attach_paged(self, source: PagedLeafSource) -> None:
+        self._paged = source
+
+    @property
+    def tree(self) -> BPlusTree:
+        if self._paged is not None:
+            self._materialize()
+        return self._tree
+
+    @tree.setter
+    def tree(self, value: BPlusTree) -> None:
+        self._tree = value
+        self._paged = None
+
+    @property
+    def is_paged(self) -> bool:
+        """Whether leaf pages still live behind the buffer pool."""
+        return self._paged is not None
+
+    def release_paged(self) -> None:
+        """Drop this index's pool pages (rebuild/drop invalidation)."""
+        if self._paged is not None:
+            self._paged.evict()
+
+    def _materialize(self) -> None:
+        source = self._paged
+        items: List[Tuple[Key, Row]] = []
+        for page_no in range(source.n_pages):
+            items.extend(source.fetch(page_no))
+        tree = BPlusTree.bulk_load(
+            items, leaf_capacity=self._tree.leaf_capacity,
+            internal_capacity=self._tree.internal_capacity)
+        self._tree = tree
+        self._paged = None
+        source.evict()
+
+    def __len__(self) -> int:
+        if self._paged is not None:
+            return self._paged.n_items
+        return len(self._tree)
+
+    def _paged_height(self) -> int:
+        """Height of the tree :meth:`_materialize` would build — the
+        deterministic :meth:`BPlusTree.bulk_load` shape recomputed from
+        the item count, so paged and materialized traversals charge
+        identical modeled I/O."""
+        n = self._paged.n_items
+        if n == 0:
+            return 1
+        fill = max(4, int(self._tree.leaf_capacity * 0.85))
+        fanout = max(4, int(self._tree.internal_capacity * 0.85))
+        level = -(-n // fill)
+        height = 1
+        while level > 1:
+            level = -(-level // fanout)
+            height += 1
+        return height
+
+    def _charge_traversal(self, ctx: Optional[ExecutionContext]) -> None:
+        if ctx is None:
+            return
+        if self._paged is not None:
+            ctx.charge_random_read(self._paged_height())
+            ctx.charge_serial_cpu(ctx.cost_model.seek_cpu_ms)
+        else:
+            super()._charge_traversal(ctx)
+
+    def _paged_scan(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> Iterator[Tuple[Key, Row]]:
+        """Replicates :meth:`BPlusTree.scan_range` bound semantics over
+        paged leaves. Each page stays pinned while its items are being
+        yielded so LRU pressure from other sessions cannot evict the
+        page mid-read."""
+        source = self._paged
+        n_pages = source.n_pages
+        idx: Optional[int]
+        if low is None:
+            page_no, idx = 0, 0
+        else:
+            page_no = max(0, bisect_right(source.fences, low) - 1)
+            idx = None  # bisect within the first page once fetched
+        while page_no < n_pages:
+            items = source.fetch(page_no, pin=True)
+            try:
+                if idx is None:
+                    keys = [k for k, _ in items]
+                    idx = (bisect_left(keys, low) if low_inclusive
+                           else bisect_right(keys, low))
+                for key, value in items[idx:]:
+                    if high is not None:
+                        if high_inclusive:
+                            if key > high:
+                                return
+                        elif key >= high:
+                            return
+                    yield key, value
+            finally:
+                source.unpin(page_no)
+            page_no += 1
+            idx = 0
+
+    def _paged_get(self, key: Key) -> Optional[Row]:
+        source = self._paged
+        if source.n_pages == 0:
+            return None
+        page_no = max(0, bisect_right(source.fences, key) - 1)
+        items = source.fetch(page_no, pin=True)
+        try:
+            keys = [k for k, _ in items]
+            idx = bisect_left(keys, key)
+            if idx < len(keys) and keys[idx] == key:
+                return items[idx][1]
+            return None
+        finally:
+            source.unpin(page_no)
+
+
+class PagedPrimaryBTreeIndex(_PagedBTreeMixin, PrimaryBTreeIndex):
+    """Clustered B+ index with demand-paged leaves.
+
+    Read paths (seek/scan/point lookup) page leaf pages in through the
+    buffer pool; mutations inherit the base implementations, which touch
+    ``self.tree`` and therefore materialize first (redo during recovery
+    forces residency the same way).
+    """
+
+    def seek_range(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        ctx: Optional[ExecutionContext] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[int, Row]]:
+        if self._paged is None:
+            yield from super().seek_range(low, high, ctx,
+                                          low_inclusive, high_inclusive)
+            return
+        self._charge_traversal(ctx)
+        self._record_range_access(ctx, low, high)
+        low_key, high_key = _pad_prefix_bounds(
+            low, high, low_inclusive, high_inclusive)
+        rows = 0
+        for key, row in self._paged_scan(low_key, high_key,
+                                         low_inclusive, high_inclusive):
+            rows += 1
+            yield key[-1], row
+        self._charge_range_io(ctx, rows)
+
+    def scan(self, ctx: Optional[ExecutionContext] = None
+             ) -> Iterator[Tuple[int, Row]]:
+        if self._paged is None:
+            yield from super().scan(ctx)
+            return
+        if ctx is not None:
+            self.usage.record_scan()
+        rows = 0
+        for key, row in self._paged_scan(None, None, True, True):
+            rows += 1
+            yield key[-1], row
+        self._charge_range_io(ctx, rows)
+
+    def lookup_rid(self, rid_to_row: Row, rid: int) -> Optional[Row]:
+        if self._paged is None:
+            return super().lookup_rid(rid_to_row, rid)
+        return self._paged_get(self._make_key(rid_to_row, rid))
+
+
+class PagedSecondaryBTreeIndex(_PagedBTreeMixin, SecondaryBTreeIndex):
+    """Nonclustered B+ index with demand-paged leaves (see
+    :class:`PagedPrimaryBTreeIndex`; ``scan`` delegates to
+    ``seek_range`` in the base class and needs no override)."""
+
+    def seek_range(
+        self,
+        low: Optional[Key],
+        high: Optional[Key],
+        ctx: Optional[ExecutionContext] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[Tuple[int, Row]]:
+        if self._paged is None:
+            yield from super().seek_range(low, high, ctx,
+                                          low_inclusive, high_inclusive)
+            return
+        self._charge_traversal(ctx)
+        self._record_range_access(ctx, low, high)
+        low_key, high_key = _pad_prefix_bounds(
+            low, high, low_inclusive, high_inclusive)
+        rows = 0
+        for key, payload in self._paged_scan(low_key, high_key,
+                                             low_inclusive, high_inclusive):
+            rows += 1
+            yield key[-1], key[:-1] + tuple(payload)
+        self._charge_range_io(ctx, rows)
 
 
 class _Infinity:

@@ -1,32 +1,66 @@
-"""A simple LRU buffer pool for partial-residency experiments.
+"""A byte-budgeted LRU buffer pool with pin counts and demand loading.
 
-The paper's micro-benchmarks mostly use two extremes — fully cold (data on
-HDD) and fully hot (data memory resident) — which the executor models with
-the ``cold`` flag on :class:`repro.engine.metrics.ExecutionContext`. The
-buffer pool supports the in-between regime: a context holding a
-:class:`BufferPool` charges I/O only for pages that miss, and repeated runs
-warm the cache, so a "cold then hot" sequence can be produced by executing
-the same query twice against one pool.
+Two usage regimes share one class:
 
-Pages are identified by ``(object_id, page_no)`` where ``object_id`` is an
-index- or heap-unique integer handed out by :class:`PageAllocator`.
+* **Modeled residency** (the original role): a context holding a
+  :class:`BufferPool` charges I/O only for pages that miss, and repeated
+  runs warm the cache, so a "cold then hot" sequence can be produced by
+  executing the same query twice against one pool. :meth:`touch` /
+  :meth:`touch_range` access pages without contents; each modeled page
+  is accounted at :data:`PAGE_BYTES`.
+
+* **Real demand paging** (``Database.open(..., paging=True)``): the pool
+  is the buffer manager over the durable snapshot. :meth:`get_or_load`
+  faults B+ leaf pages and columnstore segment pages in from the
+  snapshot file on first touch, keeps them under the byte budget with
+  LRU eviction, and honors **pin counts** so a page cannot be evicted
+  while a scan or seek is reading it (eviction skips pinned frames; if
+  everything is pinned the pool temporarily overcommits rather than
+  corrupting a reader).
+
+Pages are identified by ``(object_id, page_no)`` where ``object_id`` is
+an index- or heap-unique integer handed out by :class:`PageAllocator`
+(or, for durable databases, recorded in the snapshot catalog) and
+``page_no`` is the page's id within the snapshot stream.
+
+The pool is shared by every serving session and every morsel worker, so
+all map mutations, LRU reordering, pin counts, and counters run under a
+single per-pool lock — the same discipline as
+:class:`~repro.storage.segment_cache.DecodedSegmentCache` (an unlocked
+``move_to_end`` racing a ``popitem`` corrupts the ``OrderedDict``).
+
+Invalidation (:meth:`evict_object`, called on index rebuild/drop) is
+O(pages of that object) via a per-object page index, not a scan of
+every resident frame.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from typing import Iterable, Tuple
+from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.errors import StorageError
 
 PageId = Tuple[int, int]
 
+#: The modeled page size, shared with :mod:`repro.storage.pages` and the
+#: DMV byte math in :mod:`repro.engine.dmv`. Real snapshot pages are
+#: variable-length (header + tagged payload); this constant prices
+#: *modeled* page accesses and converts the legacy ``capacity_pages``
+#: construction into a byte budget.
+PAGE_BYTES = 8192
+
+#: Default demand-paging budget for ``Database.open(..., paging=True)``
+#: when the caller gives no explicit ``pool_bytes``.
+DEFAULT_POOL_BYTES = 64 * 1024 * 1024
+
 
 class PageAllocator:
     """Hands out unique object ids to storage structures.
 
-    Each heap, B+ tree, or columnstore obtains one object id; its pages are
-    then ``(object_id, 0..n)``.
+    Each heap, B+ tree, or columnstore obtains one object id; its pages
+    are then ``(object_id, 0..n)``.
     """
 
     def __init__(self) -> None:
@@ -39,73 +73,268 @@ class PageAllocator:
         return oid
 
 
-class BufferPool:
-    """Fixed-capacity LRU cache of pages.
+class _Frame:
+    """One resident page: its payload (None for modeled pages), its
+    budget charge, and how many readers currently pin it."""
 
-    ``capacity_pages`` bounds the number of resident pages. :meth:`touch`
-    returns the number of *missing* pages, which the caller converts to an
-    I/O charge; pages become resident afterwards.
+    __slots__ = ("value", "nbytes", "pins")
+
+    def __init__(self, value: object, nbytes: int):
+        self.value = value
+        self.nbytes = nbytes
+        self.pins = 0
+
+
+class BufferPool:
+    """Byte-budgeted LRU cache of pages with pin counts.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Legacy sizing: the budget becomes ``capacity_pages * PAGE_BYTES``
+        so modeled :meth:`touch` accesses (charged at one
+        :data:`PAGE_BYTES` each) keep exactly the old fixed-capacity LRU
+        behavior.
+    budget_bytes:
+        Direct byte budget for demand paging. Exactly one of the two
+        must be given.
     """
 
-    def __init__(self, capacity_pages: int):
-        if capacity_pages <= 0:
-            raise StorageError("buffer pool capacity must be positive")
-        self.capacity_pages = capacity_pages
-        self._resident: "OrderedDict[PageId, None]" = OrderedDict()
+    def __init__(self, capacity_pages: Optional[int] = None,
+                 budget_bytes: Optional[int] = None):
+        if (capacity_pages is None) == (budget_bytes is None):
+            raise StorageError(
+                "BufferPool needs exactly one of capacity_pages / "
+                "budget_bytes")
+        if capacity_pages is not None:
+            if capacity_pages <= 0:
+                raise StorageError("buffer pool capacity must be positive")
+            budget_bytes = capacity_pages * PAGE_BYTES
+        if budget_bytes <= 0:
+            raise StorageError("buffer pool budget must be positive")
+        self.budget_bytes = int(budget_bytes)
+        #: Budget expressed in modeled pages (DMV compatibility).
+        self.capacity_pages = max(1, self.budget_bytes // PAGE_BYTES)
+        self._resident: "OrderedDict[PageId, _Frame]" = OrderedDict()
+        #: object_id -> resident page keys of that object, so
+        #: :meth:`evict_object` is O(pages of the object).
+        self._by_object: Dict[object, Set[PageId]] = {}
+        self._bytes = 0
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        #: High-water mark of resident bytes — what the eviction tests
+        #: and the paging benchmark assert stays bounded by the budget.
+        self.peak_bytes = 0
 
+    # ---------------------------------------------------------- accessors
     def __len__(self) -> int:
         return len(self._resident)
 
+    @property
+    def bytes_resident(self) -> int:
+        """Combined budget charge of currently resident pages."""
+        return self._bytes
+
     def is_resident(self, page: PageId) -> bool:
         """Whether the page is currently cached."""
-        return page in self._resident
-
-    def touch(self, pages: Iterable[PageId]) -> int:
-        """Access ``pages`` in order; return how many were misses."""
-        missed = 0
-        for page in pages:
-            if page in self._resident:
-                self._resident.move_to_end(page)
-                self.hits += 1
-            else:
-                missed += 1
-                self.misses += 1
-                self._resident[page] = None
-                if len(self._resident) > self.capacity_pages:
-                    self._resident.popitem(last=False)
-        return missed
-
-    def touch_range(self, object_id: int, start: int, count: int) -> int:
-        """Access a contiguous page range of one object; returns misses."""
-        return self.touch((object_id, p) for p in range(start, start + count))
-
-    def evict_object(self, object_id: int) -> None:
-        """Drop all pages of one object (index rebuild/drop)."""
-        stale = [p for p in self._resident if p[0] == object_id]
-        for page in stale:
-            del self._resident[page]
-
-    def clear(self) -> None:
-        """Forget all recorded history: residency *and* the hit/miss
-        counters, so ``hit_ratio`` starts fresh for the next experiment.
-        Use :meth:`evict_all` to drop residency while keeping stats, or
-        :meth:`reset_stats` for the reverse."""
-        self._resident.clear()
-        self.reset_stats()
-
-    def evict_all(self) -> None:
-        """Drop every resident page but keep the hit/miss counters."""
-        self._resident.clear()
-
-    def reset_stats(self) -> None:
-        """Zero the hit/miss counters while keeping pages resident."""
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            return page in self._resident
 
     @property
     def hit_ratio(self) -> float:
         """Buffer-pool hits / total accesses."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    # ---------------------------------------------------------- internals
+    def _object_of(self, page: PageId) -> object:
+        return page[0] if isinstance(page, tuple) and len(page) == 2 else None
+
+    def _index_page(self, page: PageId) -> None:
+        oid = self._object_of(page)
+        if oid is not None:
+            self._by_object.setdefault(oid, set()).add(page)
+
+    def _drop(self, page: PageId, frame: _Frame) -> None:
+        del self._resident[page]
+        self._bytes -= frame.nbytes
+        oid = self._object_of(page)
+        if oid is not None:
+            pages = self._by_object.get(oid)
+            if pages is not None:
+                pages.discard(page)
+                if not pages:
+                    del self._by_object[oid]
+
+    def _evict_to(self, target_bytes: int) -> None:
+        """LRU-evict unpinned frames until ``_bytes <= target_bytes``.
+        Pinned frames are skipped; if every frame is pinned the pool
+        overcommits temporarily rather than invalidating an in-flight
+        reader."""
+        if self._bytes <= target_bytes:
+            return
+        for page in list(self._resident):
+            if self._bytes <= target_bytes:
+                break
+            frame = self._resident[page]
+            if frame.pins:
+                continue
+            self._drop(page, frame)
+            self.evictions += 1
+
+    def _evict_to_budget(self) -> None:
+        self._evict_to(self.budget_bytes)
+
+    def _insert(self, page: PageId, frame: _Frame) -> None:
+        # Make room *before* the frame becomes resident so peak_bytes
+        # never transiently overshoots the budget (a frame larger than
+        # the whole budget still overcommits, as do all-pinned pools).
+        self._evict_to(self.budget_bytes - frame.nbytes)
+        self._resident[page] = frame
+        self._bytes += frame.nbytes
+        self._index_page(page)
+        self.peak_bytes = max(self.peak_bytes, self._bytes)
+
+    # ----------------------------------------------------- modeled access
+    def touch(self, pages: Iterable[PageId]) -> int:
+        """Access ``pages`` in order; return how many were misses.
+
+        Modeled access: missing pages become resident with no payload,
+        charged at one :data:`PAGE_BYTES` each.
+        """
+        missed = 0
+        with self._lock:
+            for page in pages:
+                frame = self._resident.get(page)
+                if frame is not None:
+                    self._resident.move_to_end(page)
+                    self.hits += 1
+                else:
+                    missed += 1
+                    self.misses += 1
+                    self._insert(page, _Frame(None, PAGE_BYTES))
+        return missed
+
+    def touch_range(self, object_id: int, start: int, count: int) -> int:
+        """Access a contiguous page range of one object; returns misses."""
+        return self.touch((object_id, p) for p in range(start, start + count))
+
+    # ------------------------------------------------------ demand paging
+    def get_or_load(self, page: PageId,
+                    loader: Callable[[], Tuple[object, int]],
+                    pin: bool = False) -> object:
+        """Return the payload of ``page``, faulting it in on a miss.
+
+        ``loader`` runs only on a miss and returns ``(value, nbytes)``
+        where ``nbytes`` is the frame's budget charge (the on-disk page
+        length). With ``pin=True`` the frame's pin count is incremented
+        before returning — the caller must :meth:`unpin` when done.
+        """
+        with self._lock:
+            frame = self._resident.get(page)
+            if frame is not None and frame.value is None:
+                # Modeled residency only (:meth:`touch`): the payload was
+                # never loaded, so a content request is still a fault.
+                self._drop(page, frame)
+                frame = None
+            if frame is not None:
+                self._resident.move_to_end(page)
+                self.hits += 1
+            else:
+                self.misses += 1
+                value, nbytes = loader()
+                frame = _Frame(value, nbytes)
+                if pin:
+                    frame.pins += 1
+                self._insert(page, frame)
+                return frame.value
+            if pin:
+                frame.pins += 1
+            return frame.value
+
+    def pin(self, page: PageId) -> None:
+        """Increment the pin count of a resident page."""
+        with self._lock:
+            frame = self._resident.get(page)
+            if frame is None:
+                raise StorageError(f"cannot pin non-resident page {page!r}")
+            frame.pins += 1
+
+    def unpin(self, page: PageId) -> None:
+        """Decrement a page's pin count (no-op if the page was force-
+        evicted by :meth:`evict_object`/:meth:`clear` meanwhile)."""
+        with self._lock:
+            frame = self._resident.get(page)
+            if frame is not None and frame.pins > 0:
+                frame.pins -= 1
+                self._evict_to_budget()
+
+    def pinned_pages(self) -> int:
+        """Number of currently pinned frames (diagnostics/tests)."""
+        with self._lock:
+            return sum(1 for f in self._resident.values() if f.pins)
+
+    # ------------------------------------------------------- invalidation
+    def evict_object(self, object_id: int) -> int:
+        """Drop all pages of one object (index rebuild/drop); returns
+        how many were dropped. O(pages of that object) via the
+        per-object index. Pinned frames are dropped too: invalidation
+        means the content is stale, staleness beats residency."""
+        with self._lock:
+            pages = self._by_object.get(object_id)
+            if not pages:
+                return 0
+            stale = list(pages)
+            for page in stale:
+                self._drop(page, self._resident[page])
+            self.invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> None:
+        """Forget all recorded history: residency *and* the counters, so
+        ``hit_ratio`` starts fresh for the next experiment. Use
+        :meth:`evict_all` to drop residency while keeping stats, or
+        :meth:`reset_stats` for the reverse."""
+        with self._lock:
+            self._resident.clear()
+            self._by_object.clear()
+            self._bytes = 0
+            self.reset_stats()
+
+    def evict_all(self) -> None:
+        """Drop every resident page but keep the hit/miss counters."""
+        with self._lock:
+            self._resident.clear()
+            self._by_object.clear()
+            self._bytes = 0
+
+    def reset_stats(self) -> None:
+        """Zero the counters while keeping pages resident."""
+        with self._lock:
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
+            self.peak_bytes = self._bytes
+
+    def check_consistency(self) -> None:
+        """Verify internal invariants (used by the hammer tests):
+        byte accounting matches resident frames and the per-object index
+        exactly mirrors residency."""
+        with self._lock:
+            total = sum(f.nbytes for f in self._resident.values())
+            if total != self._bytes:
+                raise StorageError(
+                    f"byte accounting drifted: {self._bytes} != {total}")
+            indexed = set()
+            for oid, pages in self._by_object.items():
+                if not pages:
+                    raise StorageError(f"empty index bucket for {oid!r}")
+                indexed |= pages
+            tracked = {p for p in self._resident
+                       if self._object_of(p) is not None}
+            if indexed != tracked:
+                raise StorageError("per-object page index out of sync")

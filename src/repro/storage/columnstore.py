@@ -146,6 +146,14 @@ class ColumnstoreIndex:
         #: force per-column encodings via ``compress_rowgroup``'s
         #: ``encoding_overrides``; None keeps the smallest-size layout.
         self.layout_policy = None
+        #: Demand-paging hooks, set by ``load_snapshot_paged`` when the
+        #: database opened with ``paging=True``: the shared
+        #: :class:`~repro.storage.bufferpool.BufferPool` and the pager
+        #: that faults this index's segment pages through it. Both stay
+        #: None on the default in-memory path and after REBUILD (rebuilt
+        #: groups are in-memory, so there is nothing left to page).
+        self.buffer_pool = None
+        self._pager = None
         if columns is None:
             columns = schema.columnstore_columns()
         self.columns = list(columns)
@@ -240,8 +248,8 @@ class ColumnstoreIndex:
         needs for hypothetical CSIs (Section 4.2)."""
         sizes = {col: 0 for col in self.columns}
         for state in self._groups:
-            for col, segment in state.group.segments.items():
-                sizes[col] += segment.size_bytes
+            for col in state.group.column_names():
+                sizes[col] += state.group.column_meta(col).size_bytes
         delta_per_row = self._delta_row_bytes()
         for col in self.columns:
             share = self.schema.column(col).col_type.byte_width
@@ -258,10 +266,11 @@ class ColumnstoreIndex:
         by_column: Dict[str, Dict[str, int]] = {
             col: {} for col in self.columns}
         for state in self._groups:
-            for col, segment in state.group.segments.items():
+            for col in state.group.column_names():
+                meta = state.group.column_meta(col)
                 tally = by_column[col]
-                tally[segment.encoding] = (
-                    tally.get(segment.encoding, 0) + segment.size_bytes)
+                tally[meta.encoding] = (
+                    tally.get(meta.encoding, 0) + meta.size_bytes)
         return {
             col: (max(tally, key=tally.get) if tally else "raw")
             for col, tally in by_column.items()
@@ -512,9 +521,14 @@ class ColumnstoreIndex:
         delete-buffer compaction) and by the drop hooks in
         :class:`~repro.storage.table.Table`. Tuple moves and compaction
         are invalidated conservatively: existing group indices stay
-        stable today, but the cache must not depend on that."""
+        stable today, but the cache must not depend on that. When the
+        index is demand-paged, the buffer pool's frames for this object
+        are dropped too — rebuilt groups live in memory, so any page
+        faulted from the pre-rebuild snapshot is stale."""
         if self.segment_cache is not None:
             self.segment_cache.invalidate_object(self.object_id)
+        if self.buffer_pool is not None:
+            self.buffer_pool.evict_object(self.object_id)
 
     def _fold_buffered_delete(self, rid: int) -> None:
         """Move one buffered delete into the delete bitmap of the
@@ -762,12 +776,21 @@ class ColumnstoreIndex:
             miss_bytes = 0
             misses = 0
             hits = 0
+            #: Pool frames pinned for this group's batch; released after
+            #: the batch is yielded (or the generator is closed), so LRU
+            #: eviction cannot drop a segment page mid-read.
+            pinned_keys = []
             for name in needed:
                 decoded = None
                 if cache is not None:
                     decoded = cache.get((self.object_id, group_index, name))
                 if decoded is None:
-                    segment = group.column(name)
+                    if self._pager is not None and group.loader is not None:
+                        segment, key = self._pager.load(
+                            group_index, name, pin=True)
+                        pinned_keys.append(key)
+                    else:
+                        segment = group.column(name)
                     code_space = segment.code_space() if use_encoded else None
                     if code_space is not None:
                         # Late materialization: hand the consumer the
@@ -824,8 +847,15 @@ class ColumnstoreIndex:
             mask = self._live_mask(state)
             if mask is not None:
                 batch = batch.filter(mask)
-            if len(batch) > 0:
-                yield batch
+            try:
+                if len(batch) > 0:
+                    yield batch
+            finally:
+                # Runs on normal advance and on generator close/abandon
+                # (LIMIT-style early exit), so pins never outlive the
+                # consumer's hold on this group's batch.
+                for key in pinned_keys:
+                    self._pager.unpin(key)
         if not include_delta:
             return
         delta_batch = self._delta_batch(needed, include_rids)
@@ -846,8 +876,11 @@ class ColumnstoreIndex:
         ranges: Dict[str, Tuple[object, object]],
     ) -> bool:
         for column, (low, high) in ranges.items():
-            segment = group.segments.get(column)
-            if segment is not None and not segment.overlaps(low, high):
+            # column_meta serves min/max from the resident segment or,
+            # for demand-paged groups, from the eagerly loaded
+            # SegmentMeta — elimination never faults a segment page in.
+            meta = group.column_meta(column)
+            if meta is not None and not meta.overlaps(low, high):
                 return True
         return False
 

@@ -409,28 +409,110 @@ def choose_sort_order(columns: Dict[str, np.ndarray]) -> List[str]:
 
 
 @dataclass
+class SegmentMeta:
+    """Per-column segment metadata a row group keeps resident even when
+    the segment's data pages are not.
+
+    This is the small materialized-aggregate record the snapshot stores
+    in the PT_CSI_GROUP page: enough for segment elimination
+    (:meth:`overlaps` mirrors :meth:`ColumnSegment.overlaps`), sizing,
+    and encoding stats — without faulting the segment page in.
+    """
+
+    column: str
+    n_rows: int
+    encoding: str
+    size_bytes: int
+    min_value: object
+    max_value: object
+
+    def overlaps(self, low: object, high: object) -> bool:
+        """Min/max check used for segment elimination: can any value in
+        [low, high] exist in this segment? ``None`` bounds are open."""
+        if self.min_value is None or self.max_value is None:
+            return True  # no metadata: cannot skip
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value > high:
+            return False
+        return True
+
+    @classmethod
+    def of(cls, segment: ColumnSegment) -> "SegmentMeta":
+        return cls(
+            column=segment.column, n_rows=segment.n_rows,
+            encoding=segment.encoding, size_bytes=segment.size_bytes,
+            min_value=segment.min_value, max_value=segment.max_value,
+        )
+
+
+@dataclass
 class CompressedRowGroup:
     """A compressed row group: aligned column segments plus row ids.
 
     ``rids[i]`` is the table row id of stored position ``i``; the delete
     bitmap of primary columnstores marks positions within this array.
+
+    Two residency modes share this class. In-memory groups hold every
+    segment in ``segments``. *Paged* groups (built by the lazy snapshot
+    loader) keep ``segments`` empty and instead carry per-column
+    :class:`SegmentMeta` plus a ``loader`` that faults a segment's page
+    in through the buffer pool on first touch; loaded segments are owned
+    by the pool's LRU, never stored back here, so a paged group's
+    residency stays bounded by the pool budget.
     """
 
     segments: Dict[str, ColumnSegment]
     rids: np.ndarray
     n_rows: int
     sort_order: List[str] = field(default_factory=list)
+    #: Paged groups only: column -> SegmentMeta (resident metadata).
+    meta: Optional[Dict[str, SegmentMeta]] = None
+    #: Paged groups only: callable(column) -> ColumnSegment via the pool.
+    loader: Optional[object] = None
+
+    @property
+    def is_paged(self) -> bool:
+        """Whether segment data lives behind the buffer pool."""
+        return self.loader is not None
+
+    def column_names(self) -> List[str]:
+        """Sorted names of the group's columns, resident or not."""
+        if self.segments:
+            return sorted(self.segments)
+        if self.meta is not None:
+            return sorted(self.meta)
+        return []
+
+    def column_meta(self, name: str) -> Optional[SegmentMeta]:
+        """Resident metadata for one column (for elimination/sizing);
+        derived from the segment itself when it is in memory."""
+        segment = self.segments.get(name)
+        if segment is not None:
+            return SegmentMeta.of(segment)
+        if self.meta is not None:
+            return self.meta.get(name)
+        return None
 
     def size_bytes(self) -> int:
         """Approximate on-disk size in bytes."""
-        return sum(seg.size_bytes for seg in self.segments.values())
+        if self.segments:
+            return sum(seg.size_bytes for seg in self.segments.values())
+        if self.meta is not None:
+            return sum(m.size_bytes for m in self.meta.values())
+        return 0
 
     def column(self, name: str) -> ColumnSegment:
-        """Values of one result/batch/stats column by name."""
+        """Values of one result/batch/stats column by name. For paged
+        groups this faults the segment's page through the buffer pool."""
         try:
             return self.segments[name]
         except KeyError:
-            raise StorageError(f"row group has no segment for {name!r}") from None
+            pass
+        if self.loader is not None and (self.meta is None
+                                        or name in self.meta):
+            return self.loader(name)
+        raise StorageError(f"row group has no segment for {name!r}")
 
 
 def compress_rowgroup(

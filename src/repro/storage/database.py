@@ -69,6 +69,13 @@ class Database:
         #: recovery that produced this database, when it came from
         #: :meth:`open`.
         self.last_recovery = None
+        #: Demand-paging state, set by ``open(..., paging=True)``: the
+        #: shared :class:`~repro.storage.bufferpool.BufferPool` all paged
+        #: structures fault through, and the open snapshot reader whose
+        #: lifetime this database owns. Both None on the default
+        #: in-memory path.
+        self.buffer_pool = None
+        self._snapshot_reader = None
         #: Materialized system-view snapshots (dm_* tables) registered by
         #: :mod:`repro.engine.dmv`. Resolved by :meth:`table` as a
         #: fallback so DMVs bind/plan/execute like ordinary tables, but
@@ -251,7 +258,8 @@ class Database:
 
     @classmethod
     def open(cls, data_dir: str, cost_model: CostModel = DEFAULT_COST_MODEL,
-             fsync: bool = False) -> "Database":
+             fsync: bool = False, paging: bool = False,
+             pool_bytes: Optional[int] = None) -> "Database":
         """Recover a durable database directory and reattach its WAL.
 
         Runs full crash recovery (snapshot load + committed-WAL redo +
@@ -259,11 +267,28 @@ class Database:
         any torn WAL tail, and returns a database ready to serve and log
         further statements. The recovery report is available as
         ``db.last_recovery``.
+
+        With ``paging=True`` the snapshot is opened lazily through a
+        :class:`~repro.storage.bufferpool.BufferPool` of ``pool_bytes``
+        (default :data:`~repro.storage.bufferpool.DEFAULT_POOL_BYTES`):
+        B+ leaf pages and columnstore segment pages are demand-loaded
+        from ``snapshot.db`` on first touch and LRU-evicted under the
+        byte budget, so tables larger than memory can be served. The
+        default (``paging=False``) is the fully-loaded path and stays
+        byte-identical to prior releases.
         """
+        from repro.storage.bufferpool import DEFAULT_POOL_BYTES, BufferPool
         from repro.storage.recovery import recover
         from repro.storage.wal import WAL_FILENAME, WriteAheadLog
 
-        database, report = recover(data_dir, cost_model=cost_model)
+        pool = None
+        if paging:
+            pool = BufferPool(
+                budget_bytes=pool_bytes or DEFAULT_POOL_BYTES)
+        elif pool_bytes is not None:
+            raise StorageError("pool_bytes requires paging=True")
+        database, report = recover(data_dir, cost_model=cost_model,
+                                   buffer_pool=pool)
         wal_path = os.path.join(data_dir, WAL_FILENAME)
         if report.torn_tail and os.path.exists(wal_path):
             with open(wal_path, "r+b") as f:

@@ -46,7 +46,9 @@ snapshot digests.
 from __future__ import annotations
 
 import io
+import os
 import struct
+import threading
 import zlib
 from typing import BinaryIO, Dict, List, Optional, Tuple
 
@@ -55,14 +57,36 @@ import numpy as np
 from repro.core.errors import ProcessAbort, StorageError
 from repro.core.schema import Column, TableSchema
 from repro.core.types import ColumnType, TypeKind
-from repro.storage.btree import BPlusTree, PrimaryBTreeIndex, SecondaryBTreeIndex
+from repro.storage.btree import (
+    BPlusTree,
+    PagedLeafSource,
+    PagedPrimaryBTreeIndex,
+    PagedSecondaryBTreeIndex,
+    PrimaryBTreeIndex,
+    SecondaryBTreeIndex,
+)
+from repro.storage.bufferpool import PAGE_BYTES, BufferPool
 from repro.storage.columnstore import (
     ColumnstoreIndex,
     ensure_object_ids_above,
 )
-from repro.storage.compression import ColumnSegment, CompressedRowGroup, Dictionary
+from repro.storage.compression import (
+    ColumnSegment,
+    CompressedRowGroup,
+    Dictionary,
+    SegmentMeta,
+)
 from repro.storage.faults import FaultInjector, trip
 from repro.storage.heap import HeapFile
+
+__all__ = [
+    "PAGE_BYTES",
+    "load_snapshot",
+    "load_snapshot_paged",
+    "snapshot_bytes",
+    "write_snapshot",
+    "SnapshotReader",
+]
 
 # ------------------------------------------------------------ page codec
 
@@ -341,7 +365,17 @@ def _schema_from_payload(name: str, columns: List[Tuple]) -> TableSchema:
     ])
 
 
-def _index_descriptor(table, index) -> Dict[str, object]:
+def _leaf_fences(items: List[Tuple]) -> List[Tuple]:
+    """First key of each PT_BTREE_LEAF page — the resident separator
+    array that lets a paged B+ index route a seek to the right leaf page
+    without materializing internal nodes."""
+    return [items[start][0]
+            for start in range(0, len(items), BTREE_ITEMS_PER_PAGE)]
+
+
+def _index_descriptor(table, index,
+                      btree_items: Optional[List[Tuple]] = None
+                      ) -> Dict[str, object]:
     desc: Dict[str, object] = {
         "table": table.name,
         "name": index.name,
@@ -350,27 +384,23 @@ def _index_descriptor(table, index) -> Dict[str, object]:
     }
     if isinstance(index, HeapFile):
         desc.update({"kind": "heap", "n_pages": 0})
-    elif isinstance(index, PrimaryBTreeIndex):
-        n_items = len(index.tree)
+    elif isinstance(index, (PrimaryBTreeIndex, SecondaryBTreeIndex)):
+        items = (list(index.tree.items())
+                 if btree_items is None else btree_items)
+        n_items = len(items)
         desc.update({
             "kind": "btree",
             "key_columns": list(index.key_columns),
-            "included_columns": None,
+            "included_columns": (
+                None if isinstance(index, PrimaryBTreeIndex)
+                else list(index.included_columns)),
             "n_items": n_items,
             "n_pages": -(-n_items // BTREE_ITEMS_PER_PAGE) if n_items else 0,
-        })
-    elif isinstance(index, SecondaryBTreeIndex):
-        n_items = len(index.tree)
-        desc.update({
-            "kind": "btree",
-            "key_columns": list(index.key_columns),
-            "included_columns": list(index.included_columns),
-            "n_items": n_items,
-            "n_pages": -(-n_items // BTREE_ITEMS_PER_PAGE) if n_items else 0,
+            "leaf_fences": _leaf_fences(items),
         })
     elif isinstance(index, ColumnstoreIndex):
         n_groups = len(index._groups)
-        n_pages = sum(1 + len(state.group.segments)
+        n_pages = sum(1 + len(state.group.column_names())
                       for state in index._groups) + 1
         desc.update({
             "kind": "csi",
@@ -483,9 +513,14 @@ def write_snapshot(database, out: BinaryIO, checkpoint_lsn: int = 0,
                 "rows": [row for _, row in chunk],
             })
         for index in [table.primary] + list(table.secondary_indexes.values()):
-            writer.write(PT_INDEX, _index_descriptor(table, index))
             if isinstance(index, (PrimaryBTreeIndex, SecondaryBTreeIndex)):
+                # Materializes a paged index: a checkpoint needs every
+                # leaf entry anyway, and quiesced checkpoints are the
+                # only writers of snapshots.
                 items = list(index.tree.items())
+                writer.write(PT_INDEX,
+                             _index_descriptor(table, index,
+                                               btree_items=items))
                 for start in range(0, len(items), BTREE_ITEMS_PER_PAGE):
                     chunk = items[start:start + BTREE_ITEMS_PER_PAGE]
                     writer.write(PT_BTREE_LEAF, {
@@ -493,9 +528,22 @@ def write_snapshot(database, out: BinaryIO, checkpoint_lsn: int = 0,
                         "index": index.name,
                         "items": chunk,
                     })
-            elif isinstance(index, ColumnstoreIndex):
+                continue
+            writer.write(PT_INDEX, _index_descriptor(table, index))
+            if isinstance(index, ColumnstoreIndex):
                 for gi, state in enumerate(index._groups):
                     group = state.group
+                    columns = group.column_names()
+                    segment_meta = {}
+                    for column in columns:
+                        m = group.column_meta(column)
+                        segment_meta[column] = {
+                            "n_rows": m.n_rows,
+                            "encoding": m.encoding,
+                            "size_bytes": m.size_bytes,
+                            "min": m.min_value,
+                            "max": m.max_value,
+                        }
                     writer.write(PT_CSI_GROUP, {
                         "table": table.name,
                         "index": index.name,
@@ -505,12 +553,16 @@ def write_snapshot(database, out: BinaryIO, checkpoint_lsn: int = 0,
                         "sort_order": list(group.sort_order),
                         "deleted_mask": state.deleted_mask,
                         "n_deleted": state.n_deleted,
-                        "columns": sorted(group.segments),
+                        "columns": columns,
+                        "segment_meta": segment_meta,
                     })
-                    for column in sorted(group.segments):
+                    for column in columns:
+                        # group.column() faults paged segments in
+                        # through the pool, so checkpointing a paged
+                        # database stays within the pool budget.
                         writer.write(PT_CSI_SEGMENT, _segment_payload(
                             table.name, index.name, gi, column,
-                            group.segments[column]))
+                            group.column(column)))
                 writer.write(PT_CSI_SIDE, {
                     "table": table.name,
                     "index": index.name,
@@ -684,6 +736,353 @@ def load_snapshot(source, cost_model=None):
         "pages_read": stream.pages_read,
     }
     return database, meta
+
+
+# ------------------------------------------------- lazy (paged) loader
+
+class SnapshotReader:
+    """Random-access page reads from a published snapshot file.
+
+    One reader is shared by every paged structure of a database (and
+    therefore every serving session), so reads are serialized by a
+    per-reader lock. Each read re-validates the page's magic and CRC —
+    deferred pages skip validation at open time, so the first fault is
+    where corruption surfaces.
+
+    The file handle is held open for the database's lifetime. A later
+    checkpoint replaces ``snapshot.db`` via ``os.replace``, but on POSIX
+    the open handle keeps reading the original inode — and a quiesced
+    checkpoint rewrites unchanged pages byte-identically, so in-flight
+    paged structures stay consistent either way.
+    """
+
+    def __init__(self, path):
+        self.path = str(path)
+        self._f = open(self.path, "rb")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def read_page(self, offset: int, length: int,
+                  expected_type: int) -> Page:
+        """Read, checksum, and decode one page at a known location."""
+        with self._lock:
+            if self._closed:
+                raise StorageError(
+                    f"snapshot reader for {self.path} is closed")
+            self._f.seek(offset)
+            buf = self._f.read(length)
+        if len(buf) != length:
+            raise StorageError(
+                f"snapshot {self.path}: short read at offset {offset} "
+                f"({len(buf)} of {length} bytes)")
+        page, _ = parse_page(buf, 0)
+        if page.page_type != expected_type:
+            raise StorageError(
+                f"snapshot page {page.page_id}: expected "
+                f"{PAGE_TYPE_NAMES[expected_type]}, got "
+                f"{PAGE_TYPE_NAMES.get(page.page_type, page.page_type)}")
+        return page
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._f.close()
+
+
+class _LazyPageStream:
+    """Sequential pass over a snapshot *file* that parses structural
+    pages but only records the location of deferred data pages
+    (PT_BTREE_LEAF, PT_CSI_SEGMENT), leaving their payloads on disk."""
+
+    def __init__(self, f: BinaryIO, size: int):
+        self.f = f
+        self.size = size
+        self.offset = 0
+        self.pages_read = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.offset >= self.size
+
+    def _header(self, expected_type: int) -> Tuple[int, int, int]:
+        """Validate the header at the current offset; returns
+        (page_id, payload_len, total_len) without reading the payload."""
+        if self.exhausted:
+            raise StorageError(
+                f"snapshot ended early: expected a "
+                f"{PAGE_TYPE_NAMES[expected_type]} page")
+        self.f.seek(self.offset)
+        header = self.f.read(PAGE_HEADER.size)
+        if len(header) != PAGE_HEADER.size:
+            raise StorageError(
+                f"truncated page header at byte {self.offset} "
+                f"({len(header)} of {PAGE_HEADER.size} bytes)")
+        (magic, version, page_type, reserved, page_id, _lsn, payload_len,
+         _crc) = PAGE_HEADER.unpack(header)
+        if magic != PAGE_MAGIC:
+            raise StorageError(
+                f"bad page magic at byte {self.offset}: {magic!r}")
+        if version != PAGE_VERSION:
+            raise StorageError(f"unsupported page version {version}")
+        if reserved != 0:
+            raise StorageError(
+                f"page {page_id} reserved header bytes are nonzero")
+        if page_type != expected_type:
+            raise StorageError(
+                f"snapshot page {page_id}: expected "
+                f"{PAGE_TYPE_NAMES[expected_type]}, got "
+                f"{PAGE_TYPE_NAMES.get(page_type, page_type)}")
+        total = PAGE_HEADER.size + payload_len
+        if self.offset + total > self.size:
+            raise StorageError(
+                f"truncated page {page_id}: payload needs {payload_len} "
+                f"bytes, {self.size - self.offset - PAGE_HEADER.size} "
+                "available")
+        return page_id, payload_len, total
+
+    def next(self, expected_type: int) -> Page:
+        """Fully parse (and CRC-check) the next page."""
+        _page_id, _payload_len, total = self._header(expected_type)
+        self.f.seek(self.offset)
+        buf = self.f.read(total)
+        page, _ = parse_page(buf, 0)
+        self.offset += total
+        self.pages_read += 1
+        return page
+
+    def defer(self, expected_type: int) -> Tuple[int, int, int]:
+        """Skip the next page's payload; returns (page_id, offset,
+        length) for a later :meth:`SnapshotReader.read_page`."""
+        page_id, _payload_len, total = self._header(expected_type)
+        location = (page_id, self.offset, total)
+        self.offset += total
+        self.pages_read += 1
+        return location
+
+
+class _CsiPager:
+    """Faults one columnstore's segment pages through the buffer pool.
+
+    Keyed by (row-group index, column); the pool key is the segment
+    page's snapshot page id under the index's object id, so
+    ``evict_object`` on rebuild/drop invalidates exactly these frames.
+    """
+
+    def __init__(self, reader: SnapshotReader, pool: BufferPool,
+                 object_id: int):
+        self.reader = reader
+        self.pool = pool
+        self.object_id = object_id
+        self._locations: Dict[Tuple[int, str], Tuple[int, int, int]] = {}
+
+    def register(self, group_index: int, column: str, page_id: int,
+                 offset: int, length: int) -> None:
+        self._locations[(group_index, column)] = (page_id, offset, length)
+
+    def load(self, group_index: int, column: str,
+             pin: bool = False) -> Tuple[ColumnSegment, Tuple[int, int]]:
+        """Returns (segment, pool page key); the key is pinned when
+        ``pin`` and must be unpinned by the caller."""
+        page_id, offset, length = self._locations[(group_index, column)]
+        key = (self.object_id, page_id)
+
+        def fault() -> Tuple[ColumnSegment, int]:
+            page = self.reader.read_page(offset, length, PT_CSI_SEGMENT)
+            payload = page.payload
+            if (payload["column"] != column
+                    or payload["group_index"] != group_index):
+                raise StorageError(
+                    f"segment page {page_id} holds "
+                    f"{payload['column']!r}/{payload['group_index']}, "
+                    f"expected {column!r}/{group_index}")
+            return _segment_from_payload(payload), length
+
+        return self.pool.get_or_load(key, fault, pin=pin), key
+
+    def group_loader(self, group_index: int):
+        """The ``CompressedRowGroup.loader`` callable for one group."""
+        def load(column: str) -> ColumnSegment:
+            segment, _key = self.load(group_index, column)
+            return segment
+        return load
+
+    def unpin(self, key: Tuple[int, int]) -> None:
+        self.pool.unpin(key)
+
+
+def _restore_btree_paged(table, desc: Dict[str, object],
+                         stream: _LazyPageStream, reader: SnapshotReader,
+                         pool: BufferPool):
+    """Lazy counterpart of :func:`_restore_btree`: defer every leaf
+    page, keeping only the descriptor's fence keys resident."""
+    if desc["included_columns"] is None:
+        index = PagedPrimaryBTreeIndex(desc["name"], table.schema,
+                                       desc["key_columns"],
+                                       object_id=desc["object_id"])
+    else:
+        index = PagedSecondaryBTreeIndex(desc["name"], table.schema,
+                                         desc["key_columns"],
+                                         desc["included_columns"],
+                                         object_id=desc["object_id"])
+    if not desc["n_pages"]:
+        return index  # empty index: nothing to page
+    fences = desc.get("leaf_fences")
+    if fences is None or len(fences) != desc["n_pages"]:
+        raise StorageError(
+            f"index {desc['name']!r}: snapshot predates the paged "
+            "format (no leaf fences) — rewrite it with save() before "
+            "opening with paging=True")
+    page_locs = [stream.defer(PT_BTREE_LEAF)
+                 for _ in range(desc["n_pages"])]
+
+    def read_leaf(offset: int, length: int):
+        return reader.read_page(offset, length, PT_BTREE_LEAF) \
+            .payload["items"]
+
+    index.attach_paged(PagedLeafSource(
+        pool, desc["object_id"], desc["n_items"], fences, page_locs,
+        read_leaf))
+    return index
+
+
+def _restore_columnstore_paged(table, desc: Dict[str, object],
+                               stream: _LazyPageStream,
+                               reader: SnapshotReader,
+                               pool: BufferPool) -> ColumnstoreIndex:
+    """Lazy counterpart of :func:`_restore_columnstore`: group pages
+    (rids, delete bitmaps, sort order, per-column metadata) load
+    eagerly; segment pages defer behind the pool."""
+    index = ColumnstoreIndex(
+        desc["name"], table.schema, columns=desc["columns"],
+        is_primary=desc["is_primary"], rowgroup_size=desc["rowgroup_size"],
+        object_id=desc["object_id"],
+    )
+    pager = _CsiPager(reader, pool, desc["object_id"])
+    for gi in range(desc["n_groups"]):
+        group_page = stream.next(PT_CSI_GROUP).payload
+        if group_page["group_index"] != gi:
+            raise StorageError(
+                f"index {desc['name']!r}: row group pages out of order")
+        meta_payload = group_page.get("segment_meta")
+        if meta_payload is None:
+            raise StorageError(
+                f"index {desc['name']!r}: snapshot predates the paged "
+                "format (no segment metadata) — rewrite it with save() "
+                "before opening with paging=True")
+        for column in group_page["columns"]:
+            page_id, offset, length = stream.defer(PT_CSI_SEGMENT)
+            pager.register(gi, column, page_id, offset, length)
+        meta = {
+            column: SegmentMeta(
+                column=column, n_rows=m["n_rows"], encoding=m["encoding"],
+                size_bytes=m["size_bytes"], min_value=m["min"],
+                max_value=m["max"])
+            for column, m in meta_payload.items()
+        }
+        group = CompressedRowGroup(
+            segments={},
+            rids=group_page["rids"],
+            n_rows=group_page["n_rows"],
+            sort_order=group_page["sort_order"],
+            meta=meta,
+            loader=pager.group_loader(gi),
+        )
+        index._append_group(group)
+        state = index._groups[-1]
+        state.deleted_mask = group_page["deleted_mask"]
+        state.n_deleted = group_page["n_deleted"]
+        for pos in np.flatnonzero(state.deleted_mask).tolist():
+            index._rid_location.pop(int(group.rids[pos]), None)
+    side = stream.next(PT_CSI_SIDE).payload
+    index._delta = {rid: tuple(values) for rid, values in side["delta"]}
+    index._delete_buffer = set(side["delete_buffer"])
+    index._pager = pager
+    index.buffer_pool = pool
+    return index
+
+
+def load_snapshot_paged(path, pool: BufferPool, cost_model=None):
+    """Load a snapshot lazily: catalog, row store, B+ fences, and
+    columnstore group metadata come into memory; B+ leaf pages and
+    column segment pages stay on disk and are demand-loaded through
+    ``pool`` on first touch.
+
+    Returns ``(database, meta, reader)``. The caller owns the reader's
+    lifetime (``Database.open(..., paging=True)`` parks it on the
+    database). Deferred pages are CRC-validated at fault time, not at
+    open time.
+    """
+    from repro.engine.costs import DEFAULT_COST_MODEL
+    from repro.storage.database import Database
+
+    reader = SnapshotReader(path)
+    f = open(path, "rb")
+    try:
+        size = os.fstat(f.fileno()).st_size
+        stream = _LazyPageStream(f, size)
+        catalog = stream.next(PT_CATALOG).payload
+        database = Database(catalog["name"],
+                            cost_model=cost_model or DEFAULT_COST_MODEL)
+        max_object_id = 0
+        for table_name in catalog["tables"]:
+            table_page = stream.next(PT_TABLE).payload
+            if table_page["table"] != table_name:
+                raise StorageError(
+                    f"snapshot table pages out of order: expected "
+                    f"{table_name!r}, got {table_page['table']!r}")
+            schema = _schema_from_payload(table_name, table_page["schema"])
+            table = database.create_table(schema)
+            for _ in range(table_page["n_row_pages"]):
+                rows_page = stream.next(PT_ROWS).payload
+                for rid, row in zip(rows_page["rids"], rows_page["rows"]):
+                    table._rows[rid] = tuple(row)
+            table._next_rid = table_page["next_rid"]
+            table.modification_counter = table_page["modification_counter"]
+            for position in range(table_page["n_indexes"]):
+                desc = stream.next(PT_INDEX).payload
+                max_object_id = max(max_object_id, desc["object_id"])
+                if desc["kind"] == "heap":
+                    index = HeapFile(desc["name"], schema,
+                                     object_id=desc["object_id"])
+                    for rid, row in table.iter_rows():
+                        index._rows[rid] = row
+                elif desc["kind"] == "btree":
+                    index = _restore_btree_paged(table, desc, stream,
+                                                 reader, pool)
+                elif desc["kind"] == "csi":
+                    index = _restore_columnstore_paged(table, desc, stream,
+                                                       reader, pool)
+                    index.segment_cache = table.segment_cache
+                else:
+                    raise StorageError(
+                        f"unknown index kind {desc['kind']!r} in snapshot")
+                index.faults = database.fault_injector
+                index.usage.clock = database.telemetry.clock
+                if position == 0:
+                    if desc["role"] != "primary":
+                        raise StorageError(
+                            f"table {table_name!r}: first index in "
+                            "snapshot is not the primary structure")
+                    table.primary = index
+                else:
+                    table.secondary_indexes[desc["name"]] = index
+        if not stream.exhausted:
+            raise StorageError(
+                f"snapshot has {size - stream.offset} trailing bytes "
+                f"after page {stream.pages_read - 1}")
+        ensure_object_ids_above(max_object_id)
+        meta = {
+            "name": catalog["name"],
+            "checkpoint_lsn": catalog["checkpoint_lsn"],
+            "pages_read": stream.pages_read,
+        }
+        return database, meta, reader
+    except BaseException:
+        reader.close()
+        raise
+    finally:
+        f.close()
 
 
 def snapshot_bytes(database, checkpoint_lsn: int = 0) -> bytes:

@@ -21,6 +21,15 @@ Cached arrays are shared between the cache and every consumer; batch-mode
 operators treat batch columns as immutable (filters and projections copy),
 which is what makes the sharing safe.
 
+When the database is demand-paged (``Database.open(..., paging=True)``),
+this cache layers *above* the buffer pool: a decoded hit returns before
+the pool is consulted, so it saves the page fault as well as the decode.
+A miss faults the compressed segment page in through
+:class:`~repro.storage.bufferpool.BufferPool` and decodes from there.
+Invalidation is kept consistent across both layers —
+``ColumnstoreIndex.invalidate_cached_segments`` drops the decoded
+entries here *and* the compressed frames from the pool in one call.
+
 With encoded execution on (the default,
 :mod:`repro.engine.encoded`), code-space-capable segments — dictionary
 string segments and numeric RLE / bit-packed segments — are cached as

@@ -159,10 +159,15 @@ class Table:
         ]
 
     def _evict_cached_segments(self, structure) -> None:
-        """Drop a columnstore's decoded segments from the shared cache
-        when the index is dropped or replaced."""
+        """Drop a replaced/dropped index's cached state: a columnstore's
+        decoded segments (and buffer-pool frames, when demand-paged),
+        and a paged B+ tree's leaf pages — a dropped structure must not
+        leave stale pages resident in the shared pool."""
         if isinstance(structure, ColumnstoreIndex):
             structure.invalidate_cached_segments()
+        release = getattr(structure, "release_paged", None)
+        if release is not None:
+            release()
 
     def set_primary_btree(self, key_columns: Sequence[str],
                           name: Optional[str] = None) -> PrimaryBTreeIndex:

@@ -231,6 +231,48 @@ class TestBufferPool:
         assert pool.hits == 0 and pool.misses == 0
         assert pool.touch_range(1, 0, 4) == 0  # still resident
 
+    def test_evict_object_no_cross_object_evictions(self):
+        # Regression: evict_object used to scan every resident frame;
+        # the per-object page index must drop exactly the target
+        # object's pages and leave every other object untouched.
+        pool = BufferPool(capacity_pages=100)
+        for oid in range(5):
+            pool.touch_range(oid, 0, 10)
+        dropped = pool.evict_object(3)
+        assert dropped == 10
+        assert not any(page[0] == 3 for page in pool._resident)
+        for oid in (0, 1, 2, 4):
+            assert pool.touch_range(oid, 0, 10) == 0, (
+                f"object {oid} lost pages to another object's eviction")
+        assert pool.evictions == 0  # invalidation is not LRU eviction
+        assert pool.invalidations == 10
+        assert pool.evict_object(3) == 0  # idempotent
+        pool.check_consistency()
+
+    def test_pin_blocks_eviction(self):
+        from repro.storage.bufferpool import PAGE_BYTES
+
+        pool = BufferPool(capacity_pages=2)
+        pool.get_or_load((1, 0), lambda: ("a", PAGE_BYTES), pin=True)
+        pool.get_or_load((1, 1), lambda: ("b", PAGE_BYTES))
+        # Over budget: the pinned page must survive, the unpinned not.
+        pool.get_or_load((1, 2), lambda: ("c", PAGE_BYTES))
+        assert pool.is_resident((1, 0))
+        assert not pool.is_resident((1, 1))
+        pool.unpin((1, 0))
+        pool.get_or_load((1, 3), lambda: ("d", PAGE_BYTES))
+        assert not pool.is_resident((1, 0))  # unpinned: evictable again
+        pool.check_consistency()
+
+    def test_peak_bytes_never_exceeds_budget(self):
+        from repro.storage.bufferpool import PAGE_BYTES
+
+        pool = BufferPool(budget_bytes=4 * PAGE_BYTES)
+        for i in range(32):
+            pool.get_or_load((1, i), lambda: (i, PAGE_BYTES))
+        assert pool.peak_bytes <= pool.budget_bytes
+        assert pool.evictions == 28
+
     def test_allocator_unique(self):
         allocator = PageAllocator()
         ids = {allocator.allocate_object() for _ in range(10)}

@@ -1,0 +1,253 @@
+"""Demand paging: differential paged vs fully-loaded databases.
+
+The tentpole contract under test: ``Database.open(..., paging=True)``
+serves exactly the same database as the default fully-loaded open —
+identical rows, identical modeled metrics, identical ``state_digest``,
+identical checker verdicts — while B+ leaf pages and columnstore
+segment pages stay on disk behind the buffer pool until first touch.
+The eviction test proves a table ~4x the pool budget scans with peak
+residency bounded by the budget.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT, varchar
+from repro.engine.executor import Executor
+from repro.engine.metrics import ExecutionContext
+from repro.storage.checker import check_database
+from repro.storage.database import Database
+from repro.storage.recovery import recover, state_digest
+
+
+def build_mixed_db():
+    """Hybrid physical design: clustered B+ tree + secondary B+ tree on
+    one table, primary columnstore on another."""
+    database = Database("paging")
+    t = database.create_table(TableSchema("t", [
+        Column("a", INT, nullable=False),
+        Column("b", varchar(16)),
+        Column("c", INT),
+    ]))
+    t.bulk_load([(i, f"v{i % 7}", i * 3) for i in range(5000)])
+    t.set_primary_btree(["a"])
+    t.create_secondary_btree("ix_c", ["c"])
+    u = database.create_table(TableSchema("u", [
+        Column("a", INT, nullable=False),
+        Column("b", INT),
+    ]))
+    u.bulk_load([(i, i * 2) for i in range(4096)])
+    u.set_primary_columnstore(name="u_csi", rowgroup_size=1024)
+    return database
+
+
+@pytest.fixture
+def durable_dir(tmp_path):
+    database = build_mixed_db()
+    database.enable_durability(str(tmp_path))
+    database.wal.close()
+    return str(tmp_path)
+
+
+def open_both(durable_dir, pool_bytes=1 << 20):
+    full = Database.open(durable_dir)
+    paged = Database.open(durable_dir, paging=True, pool_bytes=pool_bytes)
+    return full, paged
+
+
+def csi_rows(database):
+    rows = []
+    for batch in database.table("u").primary.scan(["a", "b"]):
+        a, b = batch.column("a"), batch.column("b")
+        a = a.materialize() if hasattr(a, "materialize") else a
+        b = b.materialize() if hasattr(b, "materialize") else b
+        rows.extend(zip(a.tolist(), b.tolist()))
+    return rows
+
+
+class TestPagedOpen:
+    def test_open_is_lazy(self, durable_dir):
+        paged = Database.open(durable_dir, paging=True, pool_bytes=1 << 20)
+        assert paged.buffer_pool is not None
+        # Nothing replayed, nothing faulted: the checker was deferred
+        # and no deferred page is resident yet.
+        assert paged.last_recovery.check_mode == "deferred"
+        assert paged.last_recovery.check_ok
+        assert paged.buffer_pool.bytes_resident == 0
+        assert paged.table("t").primary.is_paged
+        assert paged.table("t").secondary_indexes["ix_c"].is_paged
+        assert all(s.group.is_paged
+                   for s in paged.table("u").primary._groups)
+
+    def test_default_open_has_no_pool(self, durable_dir):
+        full = Database.open(durable_dir)
+        assert full.buffer_pool is None
+        assert full.last_recovery.check_mode == "full"
+
+    def test_pool_bytes_requires_paging(self, durable_dir):
+        from repro.core.errors import StorageError
+        with pytest.raises(StorageError):
+            Database.open(durable_dir, pool_bytes=1 << 20)
+
+
+class TestDifferentialReads:
+    def test_scans_and_seeks_identical(self, durable_dir):
+        full, paged = open_both(durable_dir)
+        assert (list(full.table("t").primary.scan())
+                == list(paged.table("t").primary.scan()))
+        assert csi_rows(full) == csi_rows(paged)
+        assert (list(full.table("t").primary.seek_range((100,), (200,)))
+                == list(paged.table("t").primary.seek_range((100,), (200,))))
+        ix_f = full.table("t").secondary_indexes["ix_c"]
+        ix_p = paged.table("t").secondary_indexes["ix_c"]
+        assert (list(ix_f.seek_range((300,), (600,)))
+                == list(ix_p.seek_range((300,), (600,))))
+        # Exclusive bounds and point lookups too.
+        assert (list(ix_f.seek_range((300,), (600,), low_inclusive=False,
+                                     high_inclusive=False))
+                == list(ix_p.seek_range((300,), (600,), low_inclusive=False,
+                                        high_inclusive=False)))
+        rid, row = full.table("t").rows_with_rids()[0]
+        assert (full.table("t").primary.lookup_rid(row, rid)
+                == paged.table("t").primary.lookup_rid(row, rid))
+
+    def test_modeled_metrics_identical(self, durable_dir):
+        """Paged reads charge exactly the modeled costs of the in-memory
+        path: traversal from the simulated bulk-load height, range I/O
+        from rows touched, segment reads from stored sizes."""
+        full, paged = open_both(durable_dir)
+        for cold in (False, True):
+            ctx_f = ExecutionContext(cold=cold)
+            ctx_p = ExecutionContext(cold=cold)
+            list(full.table("t").primary.seek_range((50,), (950,), ctx=ctx_f))
+            list(paged.table("t").primary.seek_range((50,), (950,),
+                                                     ctx=ctx_p))
+            list(full.table("u").primary.scan(
+                ["a", "b"], ctx=ctx_f,
+                elimination_ranges={"a": (0, 1500)}))
+            list(paged.table("u").primary.scan(
+                ["a", "b"], ctx=ctx_p,
+                elimination_ranges={"a": (0, 1500)}))
+            assert (dataclasses.asdict(ctx_f.metrics)
+                    == dataclasses.asdict(ctx_p.metrics))
+
+    def test_state_digest_and_checker_identical(self, durable_dir):
+        full, paged = open_both(durable_dir)
+        result = check_database(paged)
+        assert result.ok, result.errors
+        assert state_digest(paged) == state_digest(full)
+
+    def test_sql_results_identical(self, durable_dir):
+        full, paged = open_both(durable_dir)
+        for sql in (
+            "SELECT COUNT(*) FROM t WHERE c > 600",
+            "SELECT a, b FROM t WHERE a BETWEEN 10 AND 40",
+            "SELECT SUM(b) FROM u WHERE a < 2000",
+        ):
+            rf = Executor(full).execute(sql)
+            rp = Executor(paged).execute(sql)
+            assert [tuple(r) for r in rf.rows] == [tuple(r) for r in rp.rows]
+
+    def test_warm_scan_hits_pool(self, durable_dir):
+        _, paged = open_both(durable_dir)
+        csi_rows(paged)
+        cold_misses = paged.buffer_pool.misses
+        assert cold_misses > 0
+        assert paged.buffer_pool.hits == 0
+        csi_rows(paged)
+        assert paged.buffer_pool.misses == cold_misses
+        assert paged.buffer_pool.hits > 0
+
+
+class TestDifferentialDml:
+    def test_dml_and_recovery_identical(self, tmp_path):
+        database = build_mixed_db()
+        database.enable_durability(str(tmp_path))
+        # Logged DML after the checkpoint: the paged reopen must redo it
+        # (forcing residency of the touched structures) and converge to
+        # the same digest as the fully-loaded reopen.
+        t = database.table("t")
+        t.delete_rids([10, 11, 12])
+        t.insert_row((99999, "zz", 42))
+        t.update_rids([(20, (20, "upd", -1))])
+        database.wal.close()
+        full, paged = open_both(str(tmp_path))
+        assert paged.last_recovery.ops_replayed > 0
+        # With redo work the consistency check is NOT deferred.
+        assert paged.last_recovery.check_mode == "full"
+        assert paged.last_recovery.check_ok
+        assert state_digest(paged) == state_digest(full)
+
+    def test_dml_on_paged_database(self, durable_dir):
+        full, paged = open_both(durable_dir)
+        for db in (full, paged):
+            db.table("t").delete_rids([100, 101])
+            db.table("t").insert_row((88888, "new", 7))
+            db.table("u").primary.rebuild()
+        assert state_digest(paged) == state_digest(full)
+        result = check_database(paged)
+        assert result.ok, result.errors
+
+    def test_checkpoint_of_paged_database(self, durable_dir, tmp_path):
+        _, paged = open_both(durable_dir)
+        paged.table("t").insert_row((77777, "ck", 1))
+        path = paged.checkpoint()
+        reopened = Database.open(durable_dir)
+        assert reopened.last_recovery.check_ok
+        assert 77777 in {row[0] for _, row in
+                         reopened.table("t").iter_rows()}
+        assert state_digest(reopened) == state_digest(paged)
+
+    def test_rebuild_invalidates_pool(self, durable_dir):
+        _, paged = open_both(durable_dir)
+        csi_rows(paged)
+        oid = paged.table("u").primary.object_id
+        pool = paged.buffer_pool
+        assert any(page[0] == oid for page in pool._resident)
+        paged.table("u").primary.rebuild()
+        assert not any(page[0] == oid for page in pool._resident)
+        assert pool.invalidations > 0
+        # Rebuilt groups are in-memory: scans no longer fault.
+        before = pool.misses
+        csi_rows(paged)
+        assert pool.misses == before
+
+
+class TestEvictionBound:
+    def test_peak_residency_bounded_by_budget(self, tmp_path):
+        """Scan a table ~4x the pool budget, twice; peak residency never
+        exceeds the budget and eviction (not growth) absorbs the excess."""
+        rng = np.random.RandomState(0)
+        database = Database("big")
+        table = database.create_table(TableSchema("big", [
+            Column("k", INT, nullable=False),
+            Column("x", INT),
+        ]))
+        # Random payloads defeat RLE so segments stay ~raw-sized.
+        table.bulk_load([(i, int(rng.randint(0, 2 ** 31)))
+                         for i in range(64 * 1024)])
+        table.set_primary_columnstore(name="big_csi", rowgroup_size=1024)
+        total_bytes = database.table("big").primary.size_bytes()
+        database.enable_durability(str(tmp_path))
+        database.wal.close()
+
+        budget = total_bytes // 4
+        paged = Database.open(str(tmp_path), paging=True,
+                              pool_bytes=budget)
+        index = paged.table("big").primary
+        pool = paged.buffer_pool
+        assert pool.budget_bytes == budget
+        for _ in range(2):
+            n = 0
+            for batch in index.scan(["k", "x"]):
+                n += len(batch)
+            assert n == 64 * 1024
+        assert pool.evictions > 0
+        assert pool.peak_bytes <= budget, (
+            f"peak residency {pool.peak_bytes} exceeded budget {budget}")
+        assert pool.bytes_resident <= budget
+        # And the data really was larger than the pool.
+        assert total_bytes >= 4 * budget

@@ -302,3 +302,74 @@ class TestFaultInjectorThreadSafety:
             thread.join()
         assert not errors, errors[0]
         assert injector.hits["btree.insert"] == 200
+
+
+class TestBufferPoolThreadSafety:
+    """The PR 9 satellite: BufferPool is shared by every serving session
+    and morsel worker once paging is on, so touch/get_or_load/
+    evict_object/clear must hold the pool lock — an unsynchronized
+    ``move_to_end`` racing a ``popitem`` corrupts the OrderedDict."""
+
+    N_THREADS = 8
+    OPS_PER_THREAD = 400
+
+    def test_concurrent_touch_load_evict_stays_consistent(self):
+        from repro.storage.bufferpool import PAGE_BYTES, BufferPool
+
+        pool = BufferPool(budget_bytes=32 * PAGE_BYTES)
+        errors = []
+
+        def hammer(seed):
+            try:
+                for i in range(self.OPS_PER_THREAD):
+                    oid = (seed + i) % 4
+                    page = (oid, i % 16)
+                    if i % 11 == 0:
+                        pool.evict_object(oid)
+                    elif i % 5 == 0:
+                        value = pool.get_or_load(
+                            page, lambda: (b"x" * 64, PAGE_BYTES), pin=True)
+                        assert value == b"x" * 64
+                        pool.unpin(page)
+                    elif i % 17 == 0:
+                        pool.evict_all()
+                    else:
+                        pool.touch([page])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(self.N_THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors[0]
+        pool.check_consistency()
+        assert pool.bytes_resident <= pool.budget_bytes
+        assert pool.hits + pool.misses > 0
+
+    def test_clear_while_faulting(self):
+        from repro.storage.bufferpool import PAGE_BYTES, BufferPool
+
+        pool = BufferPool(budget_bytes=8 * PAGE_BYTES)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    pool.get_or_load((1, 0),
+                                     lambda: (b"v", PAGE_BYTES), pin=True)
+                    pool.unpin((1, 0))
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        for _ in range(300):
+            pool.clear()
+        stop.set()
+        thread.join()
+        assert not errors, errors[0]
+        pool.check_consistency()
