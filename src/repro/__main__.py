@@ -25,15 +25,18 @@ Commands
     database and print the plan tree annotated with estimated vs actual
     rows and per-operator elapsed/CPU/I-O/memory; ``--trace FILE``
     additionally writes a Chrome trace-event JSON of the plan timeline.
-``monitor [--snapshot|--prometheus] [--watch N]``
+``monitor [--snapshot|--prometheus] [--watch N] [--events-jsonl FILE]``
     Run a TPC-DS mini-workload (queries + DML) against a hybrid design
     and report the DMV telemetry it accumulates: index usage, rowgroup
-    physical stats, missing-index observations, cache counters, and the
-    query store. Default output is a human-readable report assembled by
-    SELECTing from the ``dm_*`` system views through the SQL engine;
-    ``--snapshot`` prints the raw JSON snapshot, ``--prometheus`` the
-    Prometheus text exposition, and ``--watch N`` repeats the workload
-    for N rounds printing the report after each.
+    physical stats, missing-index observations, cache counters, wait
+    statistics, the extended-events ring, the per-interval telemetry
+    history, and the query store. Default output is a human-readable
+    report assembled by SELECTing from the ``dm_*`` system views
+    through the SQL engine; ``--snapshot`` prints the raw JSON
+    snapshot, ``--prometheus`` the Prometheus text exposition,
+    ``--watch N`` repeats the workload for N rounds printing the report
+    after each, and ``--events-jsonl FILE`` exports the event ring as
+    JSON Lines.
 """
 
 from __future__ import annotations
@@ -462,6 +465,22 @@ def _cmd_monitor(args) -> int:
         print(format_table(
             ["cache", "entries", "hits", "misses", "hit ratio"],
             caches.rows, title="dm_os_memory_cache_counters"))
+        waits = executor.execute(
+            "SELECT wait_type, waiting_tasks_count, wait_time_ms, "
+            "max_wait_time_ms FROM dm_os_wait_stats "
+            "ORDER BY wait_time_ms DESC")
+        print()
+        print(format_table(
+            ["wait type", "waits", "total ms", "max ms"],
+            waits.rows, title="dm_os_wait_stats (top waits)"))
+        recent = executor.execute(
+            "SELECT event_id, timestamp, event_name, session_id "
+            "FROM dm_xe_ring_buffer ORDER BY event_id DESC")
+        print()
+        print(format_table(
+            ["event", "clock", "name", "session"],
+            recent.rows[:8],
+            title="dm_xe_ring_buffer (most recent events)"))
         unused = unused_index_report(database)
         print()
         if unused:
@@ -474,14 +493,40 @@ def _cmd_monitor(args) -> int:
             print("unused indexes (reads=0): none")
         print(f"\nlogical clock: {database.telemetry.clock.now} statements")
 
+    def print_history() -> None:
+        """Per-interval telemetry: the drift-detector's time series."""
+        samples = database.history.samples()
+        if not samples:
+            return
+        rows = []
+        for sample in samples[-8:]:
+            top = max(sample["waits"].items(),
+                      key=lambda kv: (kv[1]["wait_ms"], kv[1]["count"]))
+            top_text = (f"{top[0]} {top[1]['count']}x" if top[1]["count"]
+                        else "-")
+            rows.append((
+                sample["clock"], sample["statements"], sample["events"],
+                sample["cache_hits"], sample["cache_misses"], top_text,
+            ))
+        print()
+        print(format_table(
+            ["clock", "stmts", "events", "cache hit", "cache miss",
+             "top wait"],
+            rows, title=f"telemetry history (interval="
+                        f"{database.history.interval} statements)"))
+
     rounds = max(1, args.watch)
     for round_no in range(rounds):
         run_round()
+        # Each watch round closes one telemetry interval, so the history
+        # panel always shows the round that just ran.
+        database.history.sample_now(database)
         if args.snapshot or args.prometheus:
             continue
         if rounds > 1:
             print(f"=== round {round_no + 1}/{rounds} ===")
         print_report()
+        print_history()
         if round_no + 1 < rounds:
             print()
     if args.snapshot:
@@ -489,6 +534,9 @@ def _cmd_monitor(args) -> int:
                          indent=1, default=str))
     if args.prometheus:
         print(to_prometheus(database, query_store=query_store), end="")
+    if args.events_jsonl:
+        written = database.events.write_jsonl(args.events_jsonl)
+        print(f"{written} events written to {args.events_jsonl}")
     return 0
 
 
@@ -612,6 +660,8 @@ def _cmd_bench_serving(args) -> int:
         fig1_scale=args.fig1_scale,
         fig1_replay_scale=args.fig1_replay_scale,
         out_path=args.out,
+        wait_stats_out=args.wait_stats_out,
+        events_out=args.events_out,
     )
     print(format_table(
         ["sessions", "scan mode", "statements", "wall s", "QPS"],
@@ -630,6 +680,10 @@ def _cmd_bench_serving(args) -> int:
     print("acceptance: " + json.dumps(report["acceptance"]))
     if args.out:
         print(f"report written to {args.out}")
+    if args.wait_stats_out:
+        print(f"wait-stats snapshot written to {args.wait_stats_out}")
+    if args.events_out:
+        print(f"extended events written to {args.events_out}")
     return 0
 
 
@@ -709,6 +763,9 @@ def main(argv=None) -> int:
     monitor.add_argument("--prometheus", action="store_true",
                          help="print the Prometheus text exposition "
                               "instead of the report")
+    monitor.add_argument("--events-jsonl", metavar="FILE", default=None,
+                         help="also export the extended-events ring "
+                              "buffer as JSON Lines to FILE")
 
     serve = sub.add_parser(
         "serve",
@@ -794,6 +851,14 @@ def main(argv=None) -> int:
                                help="I/O replay scale for the Q1 sweep")
     bench_serving.add_argument("--out", default="BENCH_serving.json",
                                help="output JSON path ('' to skip)")
+    bench_serving.add_argument("--wait-stats-out", default=None,
+                               metavar="FILE",
+                               help="also write per-cell wait-stats "
+                                    "snapshots (server + per-session) "
+                                    "as JSON to FILE")
+    bench_serving.add_argument("--events-out", default=None, metavar="FILE",
+                               help="also write the extended-events ring "
+                                    "buffer as JSON Lines to FILE")
 
     args = parser.parse_args(argv)
     handlers = {

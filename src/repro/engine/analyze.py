@@ -45,6 +45,15 @@ class AnalyzedQuery:
              f"spilled={metrics.spilled_bytes} B  "
              f"rows={metrics.rows_returned}"),
         ]
+        wait_profile = getattr(self.result, "wait_profile", None)
+        if wait_profile:
+            # Real blocking observed while the statement ran (wall
+            # clock, observation-only) — absent entirely on an
+            # uncontended run so default output stays unchanged.
+            waits = "  ".join(
+                f"{wait_type}={row['count']}x/{row['wait_ms']:.3f} ms"
+                for wait_type, row in wait_profile.items())
+            lines.append(f"waits: {waits}")
         if self.root_span is None:
             lines.append("(no span data recorded)")
             return "\n".join(lines)

@@ -12,6 +12,9 @@ repro view                                              SQL Server counterpart
 ``dm_db_missing_index_details``                         ``sys.dm_db_missing_index_details`` (+ group stats)
 ``dm_exec_query_stats``                                 ``sys.dm_exec_query_stats`` (via the Query Store)
 ``dm_os_memory_cache_counters``                         ``sys.dm_os_memory_cache_counters``
+``dm_os_wait_stats``                                    ``sys.dm_os_wait_stats``
+``dm_exec_session_wait_stats``                          ``sys.dm_exec_session_wait_stats``
+``dm_xe_ring_buffer``                                   ``sys.dm_xe_session_targets`` (ring buffer target)
 ======================================================  ======================================================
 
 Each view is *virtual*: :func:`materialize_system_views` snapshots the
@@ -35,6 +38,7 @@ Prometheus text exposition format (:func:`to_prometheus`), surfaced by
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import CatalogError
@@ -43,6 +47,7 @@ from repro.core.types import BIGINT, INT, decimal, varchar
 from repro.storage.columnstore import ColumnstoreIndex
 from repro.storage.database import Database
 from repro.storage.table import Table
+from repro.storage.waits import HISTOGRAM_BUCKETS_MS, WAIT_TYPES
 
 #: Names of every system view, in registration order.
 SYSTEM_VIEW_NAMES: Tuple[str, ...] = (
@@ -51,6 +56,9 @@ SYSTEM_VIEW_NAMES: Tuple[str, ...] = (
     "dm_db_missing_index_details",
     "dm_exec_query_stats",
     "dm_os_memory_cache_counters",
+    "dm_os_wait_stats",
+    "dm_exec_session_wait_stats",
+    "dm_xe_ring_buffer",
 )
 
 #: Maximum characters of statement text projected into
@@ -128,6 +136,34 @@ _VIEW_SCHEMAS: Dict[str, TableSchema] = {
         Column("evictions", BIGINT, nullable=False),
         Column("hit_ratio", _RATIO, nullable=False),
         Column("enabled", INT, nullable=False),
+    ),
+    "dm_os_wait_stats": _schema(
+        "dm_os_wait_stats",
+        Column("wait_type", varchar(32), nullable=False),
+        Column("waiting_tasks_count", BIGINT, nullable=False),
+        Column("wait_time_ms", decimal(scale=3), nullable=False),
+        Column("max_wait_time_ms", decimal(scale=3), nullable=False),
+        # SQL Server splits runnable-queue time out as signal waits; the
+        # repro engine has no scheduler queue, so this column is always
+        # 0 — kept so DBA queries written against the real view port over.
+        Column("signal_wait_time_ms", decimal(scale=3), nullable=False),
+    ),
+    "dm_exec_session_wait_stats": _schema(
+        "dm_exec_session_wait_stats",
+        Column("session_id", INT, nullable=False),
+        Column("wait_type", varchar(32), nullable=False),
+        Column("waiting_tasks_count", BIGINT, nullable=False),
+        Column("wait_time_ms", decimal(scale=3), nullable=False),
+        Column("max_wait_time_ms", decimal(scale=3), nullable=False),
+        Column("signal_wait_time_ms", decimal(scale=3), nullable=False),
+    ),
+    "dm_xe_ring_buffer": _schema(
+        "dm_xe_ring_buffer",
+        Column("event_id", BIGINT, nullable=False),
+        Column("timestamp", BIGINT, nullable=False),
+        Column("event_name", varchar(64), nullable=False),
+        Column("session_id", INT, nullable=False),
+        Column("payload", varchar(1024), nullable=False),
     ),
 }
 
@@ -262,6 +298,62 @@ def memory_cache_rows(database: Database,
     return rows
 
 
+def wait_stats_rows(database: Database) -> List[Tuple[object, ...]]:
+    """``dm_os_wait_stats``: server-wide wait accumulation, every
+    canonical wait type present (zeros included, like the real view),
+    in taxonomy order.
+
+    When a WAL is attached, two informational counter rows follow —
+    ``WAL_FLUSH`` / ``WAL_FSYNC`` surface the log's flush and fsync
+    counts through ``waiting_tasks_count`` (their blocked time is
+    already accumulated under ``WRITELOG``, so the ms columns are 0)."""
+    rows = []
+    for wait_type, acc in database.waits.server_stats().items():
+        rows.append((
+            wait_type, acc.waiting_tasks_count,
+            round(acc.wait_time_ms, 4), round(acc.max_wait_time_ms, 4),
+            0.0,
+        ))
+    wal = getattr(database, "wal", None)
+    if wal is not None:
+        rows.append(("WAL_FLUSH", wal.flushes, 0.0, 0.0, 0.0))
+        rows.append(("WAL_FSYNC", wal.fsyncs, 0.0, 0.0, 0.0))
+    return rows
+
+
+def session_wait_stats_rows(database: Database) -> List[Tuple[object, ...]]:
+    """``dm_exec_session_wait_stats``: per-session wait accumulation,
+    sessions ascending, wait types in taxonomy order, only nonzero
+    buckets (the real view likewise only carries waits that happened).
+    Session 0 is the unattributed/internal bucket (morsel workers,
+    standalone executors). Summing this view's counters grouped by
+    wait_type reproduces ``dm_os_wait_stats`` exactly — recording updates
+    both ledgers under one lock."""
+    rows = []
+    for session_id, buckets in database.waits.session_stats().items():
+        for wait_type, acc in buckets.items():
+            rows.append((
+                session_id, wait_type, acc.waiting_tasks_count,
+                round(acc.wait_time_ms, 4), round(acc.max_wait_time_ms, 4),
+                0.0,
+            ))
+    return rows
+
+
+def xe_ring_rows(database: Database) -> List[Tuple[object, ...]]:
+    """``dm_xe_ring_buffer``: the retained extended events oldest-first,
+    payloads as deterministic (sorted-keys) JSON clipped to the column
+    width."""
+    rows = []
+    for event in database.events.events():
+        payload = json.dumps(event.payload, sort_keys=True, default=str)
+        rows.append((
+            event.event_id, event.timestamp, event.name, event.session_id,
+            payload[:1024],
+        ))
+    return rows
+
+
 _ROW_BUILDERS = {
     "dm_db_index_usage_stats": lambda db, qs, bp: usage_rows(db),
     "dm_db_column_store_row_group_physical_stats":
@@ -270,6 +362,10 @@ _ROW_BUILDERS = {
     "dm_exec_query_stats": lambda db, qs, bp: query_stats_rows(qs),
     "dm_os_memory_cache_counters":
         lambda db, qs, bp: memory_cache_rows(db, bp),
+    "dm_os_wait_stats": lambda db, qs, bp: wait_stats_rows(db),
+    "dm_exec_session_wait_stats":
+        lambda db, qs, bp: session_wait_stats_rows(db),
+    "dm_xe_ring_buffer": lambda db, qs, bp: xe_ring_rows(db),
 }
 
 
@@ -416,6 +512,44 @@ def to_prometheus(database: Database, query_store=None,
         header(metric, kind, f"Memory cache {field.replace('_', ' ')}.")
         for row in cache_rows:
             lines.append(_prom_line(metric, {"cache": row[0]}, row[ordinal]))
+
+    header("repro_wait_time_ms", "histogram",
+           "Real blocked milliseconds per wait type (fixed buckets; "
+           "observation-only wall time, not modeled cost).")
+    for wait_type, acc in database.waits.server_stats().items():
+        labels = {"wait_type": wait_type}
+        cumulative = 0
+        for bound, count in zip(HISTOGRAM_BUCKETS_MS, acc.bucket_counts):
+            cumulative += count
+            lines.append(_prom_line(
+                "repro_wait_time_ms_bucket",
+                {**labels, "le": f"{bound:g}"}, cumulative))
+        cumulative += acc.bucket_counts[-1]
+        lines.append(_prom_line(
+            "repro_wait_time_ms_bucket", {**labels, "le": "+Inf"},
+            cumulative))
+        lines.append(_prom_line("repro_wait_time_ms_sum", labels,
+                                f"{acc.wait_time_ms:.4f}"))
+        lines.append(_prom_line("repro_wait_time_ms_count", labels,
+                                acc.waiting_tasks_count))
+
+    header("repro_xe_events_emitted", "counter",
+           "Extended events emitted into the ring buffer (lifetime).")
+    lines.append(_prom_line("repro_xe_events_emitted", {},
+                            database.events.emitted))
+    header("repro_xe_events_dropped", "counter",
+           "Extended events aged off the full ring buffer.")
+    lines.append(_prom_line("repro_xe_events_dropped", {},
+                            database.events.dropped))
+
+    wal = getattr(database, "wal", None)
+    if wal is not None:
+        header("repro_wal_flushes", "counter",
+               "WAL flush calls (commit group flushes).")
+        lines.append(_prom_line("repro_wal_flushes", {}, wal.flushes))
+        header("repro_wal_fsyncs", "counter",
+               "fsync barriers issued by the WAL.")
+        lines.append(_prom_line("repro_wal_fsyncs", {}, wal.fsyncs))
 
     if query_store is not None:
         header("repro_query_store_executions", "counter",

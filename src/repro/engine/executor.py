@@ -62,6 +62,12 @@ class QueryResult:
     #: serving layer sleeps only the remainder of ``metrics.io_wait_ms``
     #: so overlapped waits are never double-counted.
     replayed_io_ms: float = 0.0
+    #: Real blocking observed while this statement executed:
+    #: ``{wait_type: {"count": n, "wait_ms": ms}}``. Observation-only
+    #: wall-clock data (empty on an uncontended run) — never part of the
+    #: modeled metrics, shown by EXPLAIN ANALYZE and aggregated by the
+    #: Query Store.
+    wait_profile: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -122,48 +128,92 @@ class Executor:
     ) -> QueryResult:
         """Parse, plan, and run one statement."""
         statement = parse(sql, params)
+        database = self.database
         # Every user statement advances the deterministic logical clock;
         # telemetry stamps recorded while it runs carry its sequence
         # number (observation-only: no modeled cost).
-        self.database.telemetry.clock.advance()
+        stamp = database.telemetry.clock.advance()
+        # Emitted before the system views refresh so a query over
+        # dm_xe_ring_buffer observes its own statement_begin.
+        database.events.emit("statement_begin", {
+            "sql": sql[:200], "statement": stamp,
+        })
         self._refresh_system_views(statement)
-        bound = self.binder.bind(statement)
-        ctx = ExecutionContext(
-            cost_model=self.database.cost_model, cold=cold,
-            memory_grant_bytes=memory_grant_bytes,
-            encoded_execution=self.encoded_execution,
-            morsel_pool=self.morsel_pool,
-        )
-        ctx.charge_statement_overhead()
-        if isinstance(bound, BoundSelect):
-            result = self._run_select(bound, ctx, concurrent_queries)
-        elif isinstance(bound, (BoundUpdate, BoundDelete, BoundInsert)):
-            # On a durable database every DML statement is one WAL
-            # transaction: the redo ops raised by its Table calls buffer
-            # in the scope and hit disk together with the COMMIT before
-            # the statement returns. Failure aborts the scope — nothing
-            # from this statement ever reaches the log.
-            with self._wal_statement():
-                if isinstance(bound, BoundUpdate):
-                    result = self._run_update(bound, ctx)
-                elif isinstance(bound, BoundDelete):
-                    result = self._run_delete(bound, ctx)
+        try:
+            with database.waits.statement() as profile:
+                bound = self.binder.bind(statement)
+                ctx = ExecutionContext(
+                    cost_model=database.cost_model, cold=cold,
+                    memory_grant_bytes=memory_grant_bytes,
+                    encoded_execution=self.encoded_execution,
+                    morsel_pool=self.morsel_pool,
+                    waits=database.waits,
+                )
+                ctx.charge_statement_overhead()
+                if isinstance(bound, BoundSelect):
+                    result = self._run_select(bound, ctx, concurrent_queries)
+                elif isinstance(bound, (BoundUpdate, BoundDelete,
+                                        BoundInsert)):
+                    # On a durable database every DML statement is one WAL
+                    # transaction: the redo ops raised by its Table calls
+                    # buffer in the scope and hit disk together with the
+                    # COMMIT before the statement returns. Failure aborts
+                    # the scope — nothing from this statement ever reaches
+                    # the log.
+                    with self._wal_statement():
+                        if isinstance(bound, BoundUpdate):
+                            result = self._run_update(bound, ctx)
+                        elif isinstance(bound, BoundDelete):
+                            result = self._run_delete(bound, ctx)
+                        else:
+                            result = self._run_insert(bound, ctx)
                 else:
-                    result = self._run_insert(bound, ctx)
-        else:
-            raise ExecutionError(f"cannot execute {type(bound).__name__}")
+                    raise ExecutionError(
+                        f"cannot execute {type(bound).__name__}")
+        except BaseException as exc:
+            database.events.emit("statement_end", {
+                "sql": sql[:200], "statement": stamp,
+                "error": type(exc).__name__,
+            })
+            raise
         ctx.finalize_spans()
         result.root_span = ctx.root_span
         result.replayed_io_ms = ctx.replayed_io_ms
+        result.wait_profile = {
+            wait_type: {"count": int(count), "wait_ms": round(ms, 4)}
+            for wait_type, (count, ms) in sorted(profile.items())
+        }
         if self.query_store is not None:
             from repro.engine.query_store import (
                 node_stats_from_span,
                 plan_fingerprint,
             )
-            self.query_store.record(sql, result.metrics,
-                                    plan_fingerprint(result.plan),
+            fingerprint = plan_fingerprint(result.plan)
+            prior = self.query_store.stats(sql)
+            if (fingerprint and prior is not None and prior.plan_fingerprints
+                    and fingerprint not in prior.plan_fingerprints):
+                database.events.emit("plan_change", {
+                    "sql": sql[:200],
+                    "previous_plan": prior.plan_fingerprints[-1][:200],
+                    "new_plan": fingerprint[:200],
+                })
+            self.query_store.record(sql, result.metrics, fingerprint,
                                     node_stats=node_stats_from_span(
-                                        ctx.root_span))
+                                        ctx.root_span),
+                                    wait_profile=result.wait_profile)
+        end_payload = {
+            "sql": sql[:200], "statement": stamp,
+            "elapsed_ms": round(result.metrics.elapsed_ms, 4),
+            "cpu_ms": round(result.metrics.cpu_ms, 4),
+            "rows": len(result.rows),
+            "rows_affected": result.rows_affected,
+        }
+        if result.wait_profile:
+            # Wall-clock blocking appears only when it happened, so the
+            # single-threaded determinism harnesses see stable payloads.
+            end_payload["waits"] = result.wait_profile
+        database.events.emit("statement_end", end_payload)
+        database.history.maybe_sample(database)
         return result
 
     def explain_analyze(

@@ -215,6 +215,14 @@ class ExecutionContext:
         workers (morsel-style intra-query parallelism); None (the
         default) keeps every scan serial and byte-identical to the
         single-threaded engine.
+    waits:
+        Optional :class:`repro.storage.waits.WaitStatsCollector`.
+        Observation-only: lets the morsel coordinator record real
+        ``CXPACKET`` blocking; never read by operators and never part
+        of modeled metrics. Not propagated to
+        :meth:`spawn_worker` — morsel parallelism never nests, and
+        worker-side waits reach the collector through the structures
+        themselves (attributed to session 0, the internal bucket).
     """
 
     def __init__(
@@ -224,6 +232,7 @@ class ExecutionContext:
         memory_grant_bytes: Optional[int] = None,
         encoded_execution: Optional[bool] = None,
         morsel_pool: Optional[object] = None,
+        waits: Optional[object] = None,
     ):
         self.cost_model = cost_model
         self.cold = cold
@@ -234,6 +243,7 @@ class ExecutionContext:
         )
         self.encoded_execution = encoded_execution
         self.morsel_pool = morsel_pool
+        self.waits = waits
         #: Modeled I/O-wait milliseconds already replayed as real wall
         #: time by morsel workers (so a session replaying the statement's
         #: remaining I/O wait never double-sleeps).

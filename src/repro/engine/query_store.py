@@ -99,6 +99,10 @@ class QueryStats:
     recorded: int = 0
     #: Per-fingerprint per-node runtime stats, in plan pre-order.
     node_stats: Dict[str, List[PlanNodeStats]] = field(default_factory=dict)
+    #: Lifetime wait aggregation for this statement text (the Query
+    #: Store 2017+ ``wait_stats`` surface): wait_type -> count / wall ms.
+    wait_count: Dict[str, int] = field(default_factory=dict)
+    wait_time_ms: Dict[str, float] = field(default_factory=dict)
     _total_cpu_ms: float = 0.0
     _total_elapsed_ms: float = 0.0
     _total_data_read_mb: float = 0.0
@@ -106,6 +110,8 @@ class QueryStats:
 
     def record_execution(self, execution: QueryExecution, capacity: int,
                          node_stats: Optional[Sequence[Dict[str, object]]]
+                         = None,
+                         wait_profile: Optional[Dict[str, Dict[str, float]]]
                          = None) -> None:
         """Fold one execution into the running aggregates and the
         bounded history window."""
@@ -120,6 +126,13 @@ class QueryStats:
             self._fingerprints.append(execution.plan_fingerprint)
         if node_stats:
             self._fold_node_stats(execution.plan_fingerprint, node_stats)
+        if wait_profile:
+            for wait_type, row in wait_profile.items():
+                self.wait_count[wait_type] = (
+                    self.wait_count.get(wait_type, 0) + int(row["count"]))
+                self.wait_time_ms[wait_type] = (
+                    self.wait_time_ms.get(wait_type, 0.0)
+                    + float(row["wait_ms"]))
 
     def _fold_node_stats(self, fingerprint: str,
                          nodes: Sequence[Dict[str, object]]) -> None:
@@ -220,10 +233,15 @@ class QueryStore:
 
     def record(self, sql: str, metrics: QueryMetrics,
                plan_fingerprint: str = "",
-               node_stats: Optional[Sequence[Dict[str, object]]] = None
+               node_stats: Optional[Sequence[Dict[str, object]]] = None,
+               wait_profile: Optional[Dict[str, Dict[str, float]]] = None
                ) -> None:
         """Record one execution of ``sql`` (most-recently-used position;
-        the least-recently-used statement is evicted past the bound)."""
+        the least-recently-used statement is evicted past the bound).
+
+        ``wait_profile`` is the statement's per-wait-type blocking
+        summary (``{wait_type: {"count": n, "wait_ms": ms}}``) from
+        :meth:`repro.storage.waits.WaitStatsCollector.statement`."""
         stats = self._stats.pop(sql, None)
         if stats is None:
             stats = QueryStats(sql=sql)
@@ -234,7 +252,7 @@ class QueryStore:
             data_read_mb=metrics.data_read_mb,
             rows_returned=metrics.rows_returned,
             plan_fingerprint=plan_fingerprint,
-        ), self.capacity, node_stats)
+        ), self.capacity, node_stats, wait_profile)
         self._recorded += 1
         self._total_cpu_ms += metrics.cpu_ms
         self._total_elapsed_ms += metrics.elapsed_ms

@@ -69,7 +69,15 @@ def build_ch_database(n_warehouses: int = 2) -> Database:
 
 def _run_closed_loop(manager: SessionManager, n_sessions: int,
                      statements: Sequence[str], rounds: int) -> Dict:
-    """N closed-loop session threads; returns QPS + wait telemetry."""
+    """N closed-loop session threads; returns QPS + wait telemetry.
+
+    Each grid cell reports its *own* contention: the admission counters
+    and the wait-stats ledger are zeroed before the clients start
+    (``DBCC SQLPERF(..., CLEAR)`` between phases), so a cell's
+    ``wait_stats`` are attributable to its session count and scan mode
+    alone."""
+    manager.admission.reset_stats()
+    manager.database.waits.reset()
     errors: List[str] = []
 
     def client() -> None:
@@ -92,6 +100,7 @@ def _run_closed_loop(manager: SessionManager, n_sessions: int,
     if errors:
         raise RuntimeError(f"serving bench client failed: {errors[0]}")
     total = n_sessions * rounds * len(statements)
+    waits = manager.database.waits
     return {
         "sessions": n_sessions,
         "statements": total,
@@ -99,6 +108,17 @@ def _run_closed_loop(manager: SessionManager, n_sessions: int,
         "qps": round(total / wall_s, 2) if wall_s else 0.0,
         "grant_waits": manager.admission.grants.grant_waits,
         "latch_wait_ms": round(manager.admission.latch.total_wait_ms, 1),
+        # The taxonomy view of the same run: nonzero wait types only.
+        "wait_stats": {
+            wait_type: acc.as_dict()
+            for wait_type, acc in waits.server_stats().items()
+            if acc.waiting_tasks_count
+        },
+        "session_wait_stats": {
+            session_id: {wait_type: acc.as_dict()
+                         for wait_type, acc in buckets.items()}
+            for session_id, buckets in waits.session_stats().items()
+        },
     }
 
 
@@ -106,8 +126,13 @@ def run_qps_bench(session_counts: Sequence[int] = DEFAULT_SESSION_COUNTS,
                   rounds: int = 2,
                   morsel_workers: int = DEFAULT_MORSEL_WORKERS,
                   io_replay_scale: float = DEFAULT_IO_REPLAY_SCALE,
-                  n_warehouses: int = 2) -> List[Dict]:
-    """The CH QPS grid: every session count, serial and morsel."""
+                  n_warehouses: int = 2,
+                  events_out: Optional[str] = None) -> List[Dict]:
+    """The CH QPS grid: every session count, serial and morsel.
+
+    ``events_out`` optionally writes the database's extended-events ring
+    (statement lifecycle + any grant timeouts/eviction storms the grid
+    provoked) as JSONL once the grid finishes."""
     database = build_ch_database(n_warehouses=n_warehouses)
     statements = _ch_statements()
     results = []
@@ -119,6 +144,8 @@ def run_qps_bench(session_counts: Sequence[int] = DEFAULT_SESSION_COUNTS,
                                        rounds)
             row["scan_mode"] = mode
             results.append(row)
+    if events_out:
+        database.events.write_jsonl(events_out)
     return results
 
 
@@ -175,12 +202,19 @@ def run_serving_bench(session_counts: Sequence[int] = DEFAULT_SESSION_COUNTS,
                       io_replay_scale: float = DEFAULT_IO_REPLAY_SCALE,
                       fig1_scale: int = 10,
                       fig1_replay_scale: float = DEFAULT_FIG1_REPLAY_SCALE,
-                      out_path: Optional[str] = "BENCH_serving.json"
-                      ) -> Dict:
-    """Run both measurements and (optionally) write the JSON artifact."""
+                      out_path: Optional[str] = "BENCH_serving.json",
+                      wait_stats_out: Optional[str] = None,
+                      events_out: Optional[str] = None) -> Dict:
+    """Run both measurements and (optionally) write the JSON artifact.
+
+    ``wait_stats_out`` additionally writes the per-cell wait-stats
+    snapshots (server-wide + per-session) as one JSON file, and
+    ``events_out`` the extended-events ring as JSONL — the two CI
+    observability artifacts."""
     qps = run_qps_bench(session_counts=session_counts, rounds=rounds,
                         morsel_workers=morsel_workers,
-                        io_replay_scale=io_replay_scale)
+                        io_replay_scale=io_replay_scale,
+                        events_out=events_out)
     fig1 = run_fig1_morsel_sweep(scale=fig1_scale,
                                  morsel_workers=morsel_workers,
                                  io_replay_scale=fig1_replay_scale)
@@ -213,6 +247,17 @@ def run_serving_bench(session_counts: Sequence[int] = DEFAULT_SESSION_COUNTS,
                 speedups and sum(speedups) / len(speedups) > 1.0),
         },
     }
+    if wait_stats_out:
+        cells = [{
+            "sessions": row["sessions"],
+            "scan_mode": row["scan_mode"],
+            "wait_stats": row["wait_stats"],
+            "session_wait_stats": row["session_wait_stats"],
+        } for row in qps]
+        with open(wait_stats_out, "w", encoding="utf-8") as handle:
+            json.dump({"benchmark": "serving-wait-stats", "cells": cells},
+                      handle, indent=2, sort_keys=True)
+            handle.write("\n")
     if out_path:
         with open(out_path, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2)

@@ -41,6 +41,8 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
+from repro.storage.waits import WAIT_CXPACKET
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.batch import Batch
     from repro.engine.metrics import ExecutionContext
@@ -148,8 +150,18 @@ def morsel_scan(scan: "ColumnstoreScan", ctx: "ExecutionContext",
     ]
     segments_scanned = 0
     segments_skipped = 0
+    waits = getattr(ctx, "waits", None)
     for future in futures:
-        batches, worker_metrics = future.result()
+        if waits is not None and not future.done():
+            # CXPACKET: the coordinator is stalled on an exchange —
+            # this morsel's worker has not produced its batches yet.
+            blocked_started = time.perf_counter()
+            batches, worker_metrics = future.result()
+            waits.record(
+                WAIT_CXPACKET,
+                (time.perf_counter() - blocked_started) * 1000.0)
+        else:
+            batches, worker_metrics = future.result()
         segments_scanned += worker_metrics.segments_read
         segments_skipped += worker_metrics.segments_skipped
         if pool.io_replay_scale > 0:

@@ -27,6 +27,17 @@ Waits are measured in real wall milliseconds and recorded on the
 *session's* stats — never on :class:`~repro.engine.metrics.QueryMetrics`
 — so admission queuing can never perturb the deterministic modeled
 metrics the figures and differential tests rely on.
+
+Both primitives feed the engine-wide wait-stats taxonomy
+(:mod:`repro.storage.waits`) when a collector is attached: a blocked
+shared/exclusive latch acquire records ``LATCH_SH``/``LATCH_EX`` and a
+queued grant records ``RESOURCE_SEMAPHORE``. Only *genuine* blocking is
+recorded — an uncontended acquire leaves the taxonomy untouched, while
+the legacy ``total_wait_ms`` scalars keep their historical
+measure-always semantics for backward compatibility. Both primitives
+also gained ``reset_stats()`` (symmetric with
+``BufferPool.reset_stats()``) so benches can zero counters between
+phases.
 """
 
 from __future__ import annotations
@@ -38,6 +49,11 @@ from contextlib import contextmanager
 from typing import Deque, Dict, Iterator, Optional
 
 from repro.core.errors import ExecutionError
+from repro.storage.waits import (
+    WAIT_LATCH_EX,
+    WAIT_LATCH_SH,
+    WAIT_RESOURCE_SEMAPHORE,
+)
 
 #: Default pool capacity, in multiples of one default memory grant:
 #: enough for a handful of concurrent analytic statements while still
@@ -46,9 +62,14 @@ DEFAULT_GRANT_CAPACITY_MULTIPLE = 8
 
 
 class MemoryGrantPool:
-    """Byte-budgeted admission pool for statement memory grants."""
+    """Byte-budgeted admission pool for statement memory grants.
 
-    def __init__(self, capacity_bytes: int):
+    ``waits``/``events`` are the optional observability sinks: queued
+    grants record ``RESOURCE_SEMAPHORE`` waits, and a grant that
+    exceeds its timeout emits a ``grant_timeout`` event before raising.
+    """
+
+    def __init__(self, capacity_bytes: int, waits=None, events=None):
         if capacity_bytes <= 0:
             raise ExecutionError("grant pool capacity must be positive")
         self.capacity_bytes = capacity_bytes
@@ -61,14 +82,33 @@ class MemoryGrantPool:
         self.grant_waits = 0
         self.total_wait_ms = 0.0
         self.peak_granted_bytes = 0
+        self.grant_timeouts = 0
+        self.waits = waits
+        self.events = events
+        #: Seconds a queued grant may wait before failing with an
+        #: ExecutionError (SQL Server: ``RESOURCE_SEMAPHORE`` timeout /
+        #: error 8645). None means wait forever — the historical
+        #: behavior and the default.
+        self.default_timeout_s: Optional[float] = None
 
     @property
     def available_bytes(self) -> int:
         """Bytes currently unreserved."""
         return self._available
 
+    def reset_stats(self) -> None:
+        """Zero the admission counters (capacity and current
+        reservations are untouched)."""
+        with self._cond:
+            self.grants_admitted = 0
+            self.grant_waits = 0
+            self.total_wait_ms = 0.0
+            self.grant_timeouts = 0
+            self.peak_granted_bytes = self.capacity_bytes - self._available
+
     @contextmanager
-    def grant(self, requested_bytes: int) -> Iterator[int]:
+    def grant(self, requested_bytes: int,
+              timeout_s: Optional[float] = None) -> Iterator[int]:
         """Reserve a grant, queueing FIFO until the pool can satisfy it.
 
         Admission is strictly oldest-first (SQL Server's resource
@@ -80,29 +120,63 @@ class MemoryGrantPool:
         Requests larger than the whole pool are clamped to the pool size
         (they would otherwise deadlock) — mirroring how the engine's
         operators already spill when their grant is undersized.
+
+        ``timeout_s`` (defaulting to :attr:`default_timeout_s`) bounds
+        the queue wait: a grant still unsatisfied past the deadline
+        emits a ``grant_timeout`` event and raises
+        :class:`~repro.core.errors.ExecutionError`, like SQL Server's
+        resource-semaphore timeout (error 8645).
         """
         amount = max(1, min(int(requested_bytes), self.capacity_bytes))
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
         started = time.perf_counter()
+        timed_out = False
         with self._cond:
             if self._waiters or self._available < amount:
+                deadline = (started + timeout_s
+                            if timeout_s is not None else None)
                 ticket = object()
                 self._waiters.append(ticket)
                 try:
                     while (self._waiters[0] is not ticket
                            or self._available < amount):
-                        self._cond.wait()
+                        if deadline is None:
+                            self._cond.wait()
+                            continue
+                        remaining = deadline - time.perf_counter()
+                        if remaining <= 0:
+                            timed_out = True
+                            break
+                        self._cond.wait(remaining)
                 finally:
                     # Leave the queue on success *and* on interruption,
                     # and wake the next head either way.
                     self._waiters.remove(ticket)
                     self._cond.notify_all()
-                self.grant_waits += 1
-                self.total_wait_ms += (time.perf_counter() - started) * 1000.0
-            self._available -= amount
-            self.grants_admitted += 1
-            granted = self.capacity_bytes - self._available
-            if granted > self.peak_granted_bytes:
-                self.peak_granted_bytes = granted
+                waited_ms = (time.perf_counter() - started) * 1000.0
+                self.total_wait_ms += waited_ms
+                if timed_out:
+                    self.grant_timeouts += 1
+                else:
+                    self.grant_waits += 1
+                if self.waits is not None:
+                    self.waits.record(WAIT_RESOURCE_SEMAPHORE, waited_ms)
+            if not timed_out:
+                self._available -= amount
+                self.grants_admitted += 1
+                granted = self.capacity_bytes - self._available
+                if granted > self.peak_granted_bytes:
+                    self.peak_granted_bytes = granted
+        if timed_out:
+            if self.events is not None:
+                self.events.emit("grant_timeout", {
+                    "requested_bytes": amount,
+                    "timeout_s": timeout_s,
+                })
+            raise ExecutionError(
+                f"memory grant of {amount} bytes timed out after "
+                f"{timeout_s:.3f}s in the resource semaphore queue")
         try:
             yield amount
         finally:
@@ -123,7 +197,7 @@ class DatabaseLatch:
     supported and raises instead of deadlocking.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, waits=None) -> None:
         self._cond = threading.Condition()
         self._writer: Optional[object] = None
         self._writer_depth = 0
@@ -132,6 +206,20 @@ class DatabaseLatch:
         self.shared_acquires = 0
         self.exclusive_acquires = 0
         self.total_wait_ms = 0.0
+        #: Acquires that actually blocked (what LATCH_SH/LATCH_EX count;
+        #: ``total_wait_ms`` keeps its legacy measure-always semantics).
+        self.shared_waits = 0
+        self.exclusive_waits = 0
+        self.waits = waits
+
+    def reset_stats(self) -> None:
+        """Zero the acquire/wait counters (held state is untouched)."""
+        with self._cond:
+            self.shared_acquires = 0
+            self.exclusive_acquires = 0
+            self.total_wait_ms = 0.0
+            self.shared_waits = 0
+            self.exclusive_waits = 0
 
     @contextmanager
     def shared(self, owner: object) -> Iterator[None]:
@@ -144,10 +232,18 @@ class DatabaseLatch:
                 reentrant = True
             else:
                 reentrant = False
+                blocked = False
                 while self._writer is not None or (
                         self._waiting_writers and owner not in self._readers):
+                    blocked = True
                     self._cond.wait()
                 self._readers[owner] = self._readers.get(owner, 0) + 1
+                if blocked:
+                    self.shared_waits += 1
+                    if self.waits is not None:
+                        self.waits.record(
+                            WAIT_LATCH_SH,
+                            (time.perf_counter() - started) * 1000.0)
             self.shared_acquires += 1
             self.total_wait_ms += (time.perf_counter() - started) * 1000.0
         try:
@@ -175,14 +271,22 @@ class DatabaseLatch:
                 if owner in self._readers:
                     raise ExecutionError(
                         "cannot upgrade a shared latch to exclusive")
+                blocked = False
                 self._waiting_writers += 1
                 try:
                     while self._writer is not None or self._readers:
+                        blocked = True
                         self._cond.wait()
                 finally:
                     self._waiting_writers -= 1
                 self._writer = owner
                 self._writer_depth = 1
+                if blocked:
+                    self.exclusive_waits += 1
+                    if self.waits is not None:
+                        self.waits.record(
+                            WAIT_LATCH_EX,
+                            (time.perf_counter() - started) * 1000.0)
             self.exclusive_acquires += 1
             self.total_wait_ms += (time.perf_counter() - started) * 1000.0
         try:
@@ -204,13 +308,20 @@ class AdmissionController:
     """
 
     def __init__(self, default_grant_bytes: int,
-                 capacity_bytes: Optional[int] = None):
+                 capacity_bytes: Optional[int] = None,
+                 waits=None, events=None):
         if capacity_bytes is None:
             capacity_bytes = (
                 default_grant_bytes * DEFAULT_GRANT_CAPACITY_MULTIPLE)
         self.default_grant_bytes = default_grant_bytes
-        self.grants = MemoryGrantPool(capacity_bytes)
-        self.latch = DatabaseLatch()
+        self.grants = MemoryGrantPool(capacity_bytes, waits=waits,
+                                      events=events)
+        self.latch = DatabaseLatch(waits=waits)
+
+    def reset_stats(self) -> None:
+        """Zero both primitives' counters between bench phases."""
+        self.grants.reset_stats()
+        self.latch.reset_stats()
 
     @contextmanager
     def admit(self, owner: object, writes: bool,

@@ -157,11 +157,21 @@ class Session:
         run_cold = self.cold if cold is None else cold
         writes = statement_writes(sql, params)
         self._executor.encoded_execution = self.encoded_execution
-        with self.manager.admission.admit(
-                self.session_id, writes, memory_grant_bytes):
-            result = self._executor.execute(
-                sql, params=params, cold=run_cold,
-                memory_grant_bytes=memory_grant_bytes)
+        # The wait-stats session scope covers admission *and* execution,
+        # so latch/grant queueing and every in-engine wait this thread
+        # hits are attributed to this session in
+        # dm_exec_session_wait_stats. The statement scope opens out here
+        # too (the executor's own scope joins it), so admission waits
+        # appear in the statement's wait profile exactly as SQL Server
+        # charges RESOURCE_SEMAPHORE time to the waiting statement.
+        waits = self.manager.database.waits
+        with waits.session_scope(self.session_id):
+            with waits.statement():
+                with self.manager.admission.admit(
+                        self.session_id, writes, memory_grant_bytes):
+                    result = self._executor.execute(
+                        sql, params=params, cold=run_cold,
+                        memory_grant_bytes=memory_grant_bytes)
         self._replay_io(result)
         self.stats.statements += 1
         if writes:
@@ -195,12 +205,13 @@ class Session:
         there is no rollback on exit — the engine's statement-level
         atomicity (PR 2's compensation machinery) is the undo unit.
         """
-        with self.manager.admission.latch.exclusive(self.session_id):
-            self._txn_depth += 1
-            try:
-                yield self
-            finally:
-                self._txn_depth -= 1
+        with self.manager.database.waits.session_scope(self.session_id):
+            with self.manager.admission.latch.exclusive(self.session_id):
+                self._txn_depth += 1
+                try:
+                    yield self
+                finally:
+                    self._txn_depth -= 1
 
     @property
     def in_transaction(self) -> bool:
@@ -259,6 +270,8 @@ class SessionManager:
         self.admission = AdmissionController(
             default_grant_bytes=database.cost_model.default_memory_grant_bytes,
             capacity_bytes=grant_capacity_bytes,
+            waits=database.waits,
+            events=database.events,
         )
         self.morsel_pool: Optional[MorselPool] = None
         if morsel_workers > 0:

@@ -37,12 +37,19 @@ every resident frame.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 from typing import Callable, Dict, Iterable, Optional, Set, Tuple
 
 from repro.core.errors import StorageError
+from repro.storage.waits import WAIT_PAGEIOLATCH
 
 PageId = Tuple[int, int]
+
+#: One :meth:`BufferPool._insert` evicting at least this many frames is
+#: reported as an ``eviction_storm`` event — the working set is far
+#: enough above budget that the pool is thrashing.
+EVICTION_STORM_THRESHOLD = 32
 
 #: The modeled page size, shared with :mod:`repro.storage.pages` and the
 #: DMV byte math in :mod:`repro.engine.dmv`. Real snapshot pages are
@@ -128,6 +135,13 @@ class BufferPool:
         #: High-water mark of resident bytes — what the eviction tests
         #: and the paging benchmark assert stays bounded by the budget.
         self.peak_bytes = 0
+        #: Optional observability sinks, attached by ``Database.open``:
+        #: fault latency records ``PAGEIOLATCH`` waits, and an insert
+        #: that evicts ≥ :data:`EVICTION_STORM_THRESHOLD` frames emits
+        #: an ``eviction_storm`` event. Subscribers of that event run
+        #: under the pool lock and must not re-enter the pool.
+        self.waits = None
+        self.events = None
 
     # ---------------------------------------------------------- accessors
     def __len__(self) -> int:
@@ -176,6 +190,7 @@ class BufferPool:
         reader."""
         if self._bytes <= target_bytes:
             return
+        evicted = 0
         for page in list(self._resident):
             if self._bytes <= target_bytes:
                 break
@@ -184,6 +199,13 @@ class BufferPool:
                 continue
             self._drop(page, frame)
             self.evictions += 1
+            evicted += 1
+        if evicted >= EVICTION_STORM_THRESHOLD and self.events is not None:
+            self.events.emit("eviction_storm", {
+                "evicted": evicted,
+                "budget_bytes": self.budget_bytes,
+                "bytes_resident": self._bytes,
+            })
 
     def _evict_to_budget(self) -> None:
         self._evict_to(self.budget_bytes)
@@ -245,7 +267,14 @@ class BufferPool:
                 self.hits += 1
             else:
                 self.misses += 1
+                started = time.perf_counter()
                 value, nbytes = loader()
+                if self.waits is not None:
+                    # The fault latency: time a reader was stalled on
+                    # the snapshot read + decode for this page.
+                    self.waits.record(
+                        WAIT_PAGEIOLATCH,
+                        (time.perf_counter() - started) * 1000.0)
                 frame = _Frame(value, nbytes)
                 if pin:
                     frame.pins += 1

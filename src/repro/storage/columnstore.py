@@ -28,6 +28,7 @@ Scans yield :class:`~repro.engine.batch.Batch` objects (batch mode).
 from __future__ import annotations
 
 import itertools
+import time
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -41,6 +42,7 @@ from repro.storage.compression import CompressedRowGroup, compress_rowgroup
 from repro.storage.faults import FaultInjector, trip
 from repro.storage.segment_cache import DecodedSegmentCache
 from repro.storage.telemetry import IndexUsageStats
+from repro.storage.waits import WAIT_SEGCACHE_MISS
 
 Row = Tuple[object, ...]
 
@@ -785,6 +787,18 @@ class ColumnstoreIndex:
                 if cache is not None:
                     decoded = cache.get((self.object_id, group_index, name))
                 if decoded is None:
+                    # SEGCACHE_MISS wait: real wall time spent loading
+                    # and decoding because the decoded cache missed.
+                    # Timed only when a cache is enabled, wired to a
+                    # collector, *and* the scan is session-attributed —
+                    # embedded runs (figures, determinism harnesses)
+                    # carry no session and must keep their DMV
+                    # snapshots free of wall-clock values.
+                    miss_started = (
+                        time.perf_counter()
+                        if (cache is not None and cache.waits is not None
+                            and cache.waits.current_session_id != 0)
+                        else None)
                     if self._pager is not None and group.loader is not None:
                         segment, key = self._pager.load(
                             group_index, name, pin=True)
@@ -814,6 +828,10 @@ class ColumnstoreIndex:
                         if ctx is not None:
                             ctx.metrics.segment_cache_misses += 1
                             ctx.metrics.segment_cache_evictions += evicted
+                    if miss_started is not None:
+                        cache.waits.record(
+                            WAIT_SEGCACHE_MISS,
+                            (time.perf_counter() - miss_started) * 1000.0)
                 else:
                     hits += 1
                     if isinstance(decoded, EncodedColumn) and not use_encoded:

@@ -15,6 +15,7 @@ from repro.core.errors import CatalogError, StorageError
 from repro.core.schema import TableSchema
 from repro.engine.costs import DEFAULT_COST_MODEL, CostModel
 from repro.storage.columnstore import ColumnstoreIndex
+from repro.storage.events import EventStream
 from repro.storage.faults import FaultInjector
 from repro.storage.segment_cache import (
     DEFAULT_SEGMENT_CACHE_BUDGET,
@@ -22,6 +23,8 @@ from repro.storage.segment_cache import (
 )
 from repro.storage.table import Table
 from repro.storage.telemetry import Telemetry
+from repro.storage.timeseries import TelemetryHistory
+from repro.storage.waits import WaitStatsCollector
 
 
 class Database:
@@ -57,6 +60,24 @@ class Database:
         #: clock plus missing-index observations. Per-index usage
         #: counters live on the index structures themselves.
         self.telemetry = Telemetry()
+        #: Engine-wide wait statistics (``dm_os_wait_stats`` /
+        #: ``dm_exec_session_wait_stats``): every blocking primitive of
+        #: this database — latch, memory grants, buffer-pool faults, WAL
+        #: flush, morsel exchange, segment-cache decode — records into
+        #: this one collector.
+        self.waits = WaitStatsCollector()
+        #: XEvents-style ring buffer of typed engine events
+        #: (``dm_xe_ring_buffer``); timestamps come from the logical
+        #: clock and session attribution follows the wait collector's.
+        self.events = EventStream(
+            clock=self.telemetry.clock,
+            session_resolver=lambda: self.waits.current_session_id)
+        #: Deterministic interval telemetry history, sampled by the
+        #: executor on logical-clock boundaries (the drift substrate for
+        #: the future online tuner).
+        self.history = TelemetryHistory()
+        self.segment_cache.waits = self.waits
+        self.fault_injector.events = self.events
         self._tables: Dict[str, Table] = {}
         #: Durability backend, both None by default (pure simulator — the
         #: byte-identical configuration): a directory holding the page
@@ -224,6 +245,11 @@ class Database:
         os.replace(tmp, final)
         if self.wal is not None:
             self.wal.checkpoint(checkpoint_lsn)
+        self.events.emit("checkpoint", {
+            "checkpoint_lsn": checkpoint_lsn,
+            "tables": len(self._tables),
+            "durable": self.wal is not None,
+        })
         return final
 
     def checkpoint(self) -> str:
@@ -252,7 +278,7 @@ class Database:
             os.remove(wal_path)
         self.save(data_dir)
         wal = WriteAheadLog(wal_path, fsync=fsync,
-                            faults=self.fault_injector)
+                            faults=self.fault_injector, waits=self.waits)
         wal.checkpoint(0)
         self._attach_storage(data_dir, wal)
 
@@ -296,8 +322,22 @@ class Database:
         wal = WriteAheadLog(
             wal_path, fsync=fsync, faults=database.fault_injector,
             start_lsn=max(report.last_lsn, report.checkpoint_lsn),
-            start_txn=report.last_txn,
+            start_txn=report.last_txn, waits=database.waits,
         )
         database._attach_storage(data_dir, wal)
         database.last_recovery = report
+        if pool is not None:
+            # The pool was built before the database existed; attach the
+            # observability sinks now so faults record PAGEIOLATCH and
+            # eviction storms reach the event ring.
+            pool.waits = database.waits
+            pool.events = database.events
+        database.events.emit("recovery", {
+            "snapshot_pages": report.snapshot_pages,
+            "wal_records": report.wal_records,
+            "txns_committed": report.txns_committed,
+            "ops_replayed": report.ops_replayed,
+            "torn_tail": report.torn_tail,
+            "check_ok": report.check_ok,
+        })
         return database

@@ -136,6 +136,10 @@ class FaultInjector:
         #: crash harness sets this on its child so a "crash" kills the
         #: whole process without unwinding, exactly like SIGKILL.
         self.crash_exit = False
+        #: Optional :class:`~repro.storage.events.EventStream` (attached
+        #: by the owning Database): every fault that actually fires
+        #: emits a ``fault_injection`` event before raising.
+        self.events = None
 
     # ------------------------------------------------------------ arming
     def _validate(self, point: str) -> None:
@@ -302,6 +306,15 @@ class FaultInjector:
             if fire:
                 self.injected[point] += 1
         if fire:
+            if self.events is not None:
+                # Emitted outside the injector lock, before the raise,
+                # so the event is retained even when the fault (or the
+                # crash-style abort) unwinds the statement.
+                self.events.emit("fault_injection", {
+                    "point": point,
+                    "hit_number": hit_number,
+                    "crash_point": point in _CRASH_SET,
+                })
             if point in _CRASH_SET:
                 if self.crash_exit:
                     os._exit(137)

@@ -145,6 +145,11 @@ class DecodedSegmentCache:
         self._bytes = 0
         self._lock = threading.RLock()
         self.stats = SegmentCacheStats()
+        #: Optional :class:`~repro.storage.waits.WaitStatsCollector`
+        #: (attached by the owning Database). The cache itself never
+        #: blocks; scans consult this to record decode time on a miss as
+        #: a ``SEGCACHE_MISS`` wait (see ``ColumnstoreIndex.scan``).
+        self.waits = None
 
     # ----------------------------------------------------------- lookups
     def __len__(self) -> int:

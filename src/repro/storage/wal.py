@@ -46,6 +46,7 @@ from __future__ import annotations
 import os
 import struct
 import threading
+import time
 import zlib
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -54,6 +55,7 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.errors import ProcessAbort, StorageError
 from repro.storage.faults import FaultInjector, trip
 from repro.storage.pages import pack_value, unpack_value
+from repro.storage.waits import WAIT_WRITELOG
 
 RECORD_HEADER = struct.Struct("<IIQQB")
 _CRC_META = struct.Struct("<QQB")
@@ -202,14 +204,19 @@ class WriteAheadLog:
         commit paths.
     start_lsn / start_txn:
         Continuation points when appending to an existing log.
+    waits:
+        Optional :class:`~repro.storage.waits.WaitStatsCollector`; every
+        log flush records its wall time as a ``WRITELOG`` wait — the
+        latency a committing statement spends making itself durable.
     """
 
     def __init__(self, path, fsync: bool = False,
                  faults: Optional[FaultInjector] = None,
-                 start_lsn: int = 0, start_txn: int = 0):
+                 start_lsn: int = 0, start_txn: int = 0, waits=None):
         self.path = str(path)
         self.fsync_enabled = fsync
         self.faults = faults
+        self.waits = waits
         self._file = open(self.path, "ab")
         self._lock = threading.RLock()
         self._next_lsn = start_lsn + 1
@@ -217,6 +224,10 @@ class WriteAheadLog:
         self._buffers: Dict[int, List[dict]] = {}
         self._local = threading.local()
         self._dead = False
+        #: Lifetime flush/fsync counts, surfaced as informational rows
+        #: of ``dm_os_wait_stats`` (``WAL_FLUSH``/``WAL_FSYNC``).
+        self.flushes = 0
+        self.fsyncs = 0
 
     # ------------------------------------------------------------- state
     @property
@@ -259,6 +270,7 @@ class WriteAheadLog:
         return lsn
 
     def _flush(self) -> None:
+        started = time.perf_counter()
         self._file.flush()
         try:
             trip(self.faults, "wal_fsync")
@@ -267,6 +279,11 @@ class WriteAheadLog:
             raise
         if self.fsync_enabled:
             os.fsync(self._file.fileno())
+            self.fsyncs += 1
+        self.flushes += 1
+        if self.waits is not None:
+            self.waits.record(WAIT_WRITELOG,
+                              (time.perf_counter() - started) * 1000.0)
 
     # ------------------------------------------------------ transactions
     def begin(self) -> int:

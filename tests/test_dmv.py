@@ -32,6 +32,7 @@ from repro.optimizer.whatif import WhatIfSession, hypothetical_btree
 from repro.storage.bufferpool import BufferPool
 from repro.storage.database import Database
 from repro.storage.telemetry import IndexUsageStats, LogicalClock
+from repro.storage.waits import WAIT_TYPES
 
 
 def make_db(n_rows: int = 2000) -> Database:
@@ -79,6 +80,15 @@ class TestSqlSurface:
             if name == "dm_os_memory_cache_counters":
                 # The segment cache always exists, even in an empty db.
                 assert [row[0] for row in result.rows] == ["segment_cache"]
+            elif name == "dm_os_wait_stats":
+                # Every canonical wait type is present (zeros included),
+                # like the real view.
+                assert [row[0] for row in result.rows] == list(WAIT_TYPES)
+                assert all(row[1] == 0 for row in result.rows)
+            elif name == "dm_xe_ring_buffer":
+                # The SELECTs of this very loop emit statement events.
+                assert any(row[2] == "statement_begin"
+                           for row in result.rows)
             else:
                 assert result.rows == []
 

@@ -1,0 +1,249 @@
+"""Extended-events stream tests: ring-buffer semantics, subscriber
+hooks, JSONL export, and every engine emitter (statement lifecycle,
+checkpoint, recovery, plan change, grant timeout, fault injection,
+eviction storm)."""
+
+import json
+import random
+import threading
+
+import pytest
+
+from repro.core.errors import ExecutionError
+from repro.core.schema import Column, TableSchema
+from repro.core.types import INT
+from repro.engine.executor import Executor
+from repro.engine.query_store import QueryStore
+from repro.server.session import SessionManager
+from repro.storage.bufferpool import EVICTION_STORM_THRESHOLD
+from repro.storage.database import Database
+from repro.storage.events import EVENT_NAMES, EventStream
+from repro.storage.faults import InjectedFault
+from repro.storage.telemetry import LogicalClock
+from repro.workloads.synthetic import make_uniform_table
+
+
+def _small_db(n_rows=2000) -> Database:
+    database = Database()
+    make_uniform_table(database, "micro", n_rows, 2, seed=5)
+    database.table("micro").set_primary_columnstore(rowgroup_size=1024)
+    return database
+
+
+class TestRing:
+    def test_emit_assigns_ids_and_timestamps(self):
+        clock = LogicalClock()
+        stream = EventStream(clock=clock)
+        clock.advance()
+        event = stream.emit("checkpoint", {"tables": 2})
+        assert event.event_id == 1
+        assert event.timestamp == 1
+        assert event.payload == {"tables": 2}
+        assert stream.emitted == 1
+
+    def test_unknown_event_name_rejected(self):
+        stream = EventStream()
+        with pytest.raises(ValueError):
+            stream.emit("not_an_event")
+
+    def test_every_canonical_name_is_emittable(self):
+        stream = EventStream()
+        for name in EVENT_NAMES:
+            stream.emit(name)
+        assert [e.name for e in stream.events()] == list(EVENT_NAMES)
+
+    def test_ring_drops_oldest_past_capacity(self):
+        stream = EventStream(capacity=4)
+        for i in range(7):
+            stream.emit("checkpoint", {"i": i})
+        events = stream.events()
+        assert len(events) == 4
+        assert [e.payload["i"] for e in events] == [3, 4, 5, 6]
+        assert stream.dropped == 3
+        assert stream.emitted == 7
+
+    def test_filter_by_name(self):
+        stream = EventStream()
+        stream.emit("checkpoint")
+        stream.emit("recovery")
+        stream.emit("checkpoint")
+        assert len(stream.events("checkpoint")) == 2
+        assert len(stream.events("recovery")) == 1
+
+    def test_subscriber_sees_events_and_unsubscribes(self):
+        stream = EventStream()
+        seen = []
+        unsubscribe = stream.subscribe(lambda e: seen.append(e.name))
+        stream.emit("checkpoint")
+        unsubscribe()
+        stream.emit("recovery")
+        assert seen == ["checkpoint"]
+
+    def test_subscriber_exception_is_swallowed_and_counted(self):
+        stream = EventStream()
+
+        def bad(_event):
+            raise RuntimeError("observer bug")
+
+        stream.subscribe(bad)
+        event = stream.emit("checkpoint")
+        assert event.event_id == 1
+        assert stream.subscriber_errors == 1
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        stream = EventStream()
+        stream.emit("checkpoint", {"tables": 3})
+        stream.emit("recovery", {"ops_replayed": 7})
+        path = tmp_path / "events.jsonl"
+        assert stream.write_jsonl(str(path)) == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["name"] == "checkpoint"
+        assert parsed[1]["payload"]["ops_replayed"] == 7
+        # Deterministic serialisation: keys are sorted.
+        assert lines[0] == json.dumps(parsed[0], sort_keys=True)
+
+    def test_clear_keeps_ids_monotonic(self):
+        stream = EventStream()
+        stream.emit("checkpoint")
+        stream.clear()
+        event = stream.emit("checkpoint")
+        assert event.event_id == 2
+        assert stream.emitted == 1
+
+    def test_concurrent_emits_unique_ids(self):
+        stream = EventStream(capacity=4096)
+
+        def emitter():
+            for _ in range(200):
+                stream.emit("checkpoint")
+
+        threads = [threading.Thread(target=emitter) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        ids = [e.event_id for e in stream.events()]
+        assert len(ids) == len(set(ids)) == 800
+
+
+class TestEngineEmitters:
+    def test_statement_lifecycle_events(self):
+        database = _small_db()
+        Executor(database).execute("SELECT sum(col1) FROM micro")
+        begins = database.events.events("statement_begin")
+        ends = database.events.events("statement_end")
+        assert len(begins) == 1 and len(ends) == 1
+        assert begins[0].payload["sql"].startswith("SELECT sum(col1)")
+        assert begins[0].payload["statement"] == 1
+        end = ends[0].payload
+        assert end["rows"] == 1
+        assert end["elapsed_ms"] > 0
+        # Uncontended single-threaded run: no waits key at all, keeping
+        # the payload deterministic.
+        assert "waits" not in end
+
+    def test_failed_statement_emits_end_with_error(self):
+        database = _small_db()
+        executor = Executor(database)
+        with pytest.raises(Exception):
+            executor.execute("SELECT nope FROM micro")
+        ends = database.events.events("statement_end")
+        assert len(ends) == 1
+        assert ends[0].payload["error"] == "SqlError"
+
+    def test_statement_begin_visible_to_its_own_ring_query(self):
+        database = _small_db()
+        result = Executor(database).execute(
+            "SELECT event_name FROM dm_xe_ring_buffer")
+        assert ("statement_begin",) in result.rows
+
+    def test_checkpoint_and_recovery_events(self, tmp_path):
+        database = _small_db()
+        data_dir = str(tmp_path / "data")
+        database.enable_durability(data_dir)
+        Executor(database).execute(
+            "UPDATE TOP (5) micro SET col2 += 1 WHERE col1 >= 0")
+        database.checkpoint()
+        checkpoints = database.events.events("checkpoint")
+        assert checkpoints
+        assert checkpoints[-1].payload["durable"] is True
+
+        reopened = Database.open(data_dir)
+        (recovery,) = reopened.events.events("recovery")
+        assert recovery.payload["check_ok"] is True
+        assert recovery.payload["torn_tail"] is False
+
+    def test_plan_change_event(self):
+        rng = random.Random(4)
+        database = Database()
+        table = database.create_table(TableSchema("t", [
+            Column("k", INT, nullable=False),
+            Column("g", INT, nullable=False),
+            Column("v", INT),
+        ]))
+        table.bulk_load([(i, rng.randrange(8), rng.randrange(1000))
+                         for i in range(30_000)])
+        table.set_primary_btree(["k"])
+        executor = Executor(database, query_store=QueryStore())
+        sql = "SELECT g, sum(v) FROM t GROUP BY g"
+        executor.execute(sql)
+        assert database.events.events("plan_change") == []
+        database.table("t").create_secondary_columnstore("csi")
+        executor.refresh()
+        executor.execute(sql)
+        (change,) = database.events.events("plan_change")
+        assert change.payload["sql"] == sql
+        assert change.payload["new_plan"] != change.payload["previous_plan"]
+
+    def test_grant_timeout_event(self):
+        database = _small_db()
+        with SessionManager(database) as manager:
+            manager.admission.grants.default_timeout_s = 0.05
+            holding, release = threading.Event(), threading.Event()
+            capacity = manager.admission.grants.capacity_bytes
+
+            def holder():
+                with manager.admission.grants.grant(capacity):
+                    holding.set()
+                    release.wait()
+
+            thread = threading.Thread(target=holder)
+            thread.start()
+            holding.wait()
+            with manager.session() as session:
+                with pytest.raises(ExecutionError, match="timed out"):
+                    session.execute("SELECT sum(col1) FROM micro")
+            release.set()
+            thread.join(timeout=5)
+        (timeout_event,) = database.events.events("grant_timeout")
+        assert timeout_event.payload["requested_bytes"] > 0
+        assert timeout_event.session_id == session.session_id
+
+    def test_fault_injection_event(self):
+        database = _small_db()
+        database.fault_injector.arm("csi.delta_insert", on_hit=1)
+        executor = Executor(database)
+        with pytest.raises(InjectedFault):
+            executor.execute("INSERT INTO micro (col1, col2) "
+                             "VALUES (1, 2)")
+        (fault,) = database.events.events("fault_injection")
+        assert fault.payload["point"] == "csi.delta_insert"
+        assert fault.payload["crash_point"] is False
+
+    def test_eviction_storm_event(self):
+        from repro.storage.bufferpool import BufferPool, PAGE_BYTES
+        n_small = EVICTION_STORM_THRESHOLD + 8
+        pool = BufferPool(budget_bytes=PAGE_BYTES * n_small)
+        stream = EventStream()
+        pool.events = stream
+        for page in range(n_small):
+            pool.get_or_load(("t", page), lambda: (b"x", PAGE_BYTES))
+        assert stream.events("eviction_storm") == []
+        # One frame the size of the whole budget forces every resident
+        # small frame out in a single insertion — a storm.
+        pool.get_or_load(("t", "huge"),
+                         lambda: (b"y", PAGE_BYTES * n_small))
+        (storm,) = stream.events("eviction_storm")
+        assert storm.payload["evicted"] >= EVICTION_STORM_THRESHOLD

@@ -1,0 +1,64 @@
+"""CLI coverage for ``repro monitor`` (satellite of the observability
+PR): the default DMV report, ``--snapshot``, ``--prometheus``,
+``--watch N``, and ``--events-jsonl`` export."""
+
+import json
+
+from repro.__main__ import main
+from repro.engine.dmv import SYSTEM_VIEW_NAMES
+
+TINY = ["monitor", "--scale", "0.05", "--queries", "2"]
+
+
+def _run(capsys, extra):
+    assert main(TINY + extra) == 0
+    return capsys.readouterr().out
+
+
+class TestMonitorCli:
+    def test_default_report_includes_observability_panels(self, capsys):
+        out = _run(capsys, [])
+        assert "dm_os_wait_stats (top waits)" in out
+        assert "dm_xe_ring_buffer (most recent events)" in out
+        assert "statement_begin" in out
+        assert "telemetry history (interval=" in out
+        assert "logical clock:" in out
+
+    def test_snapshot_is_json_with_every_view(self, capsys):
+        out = _run(capsys, ["--snapshot"])
+        snap = json.loads(out)
+        assert set(SYSTEM_VIEW_NAMES) <= set(snap)
+        assert snap["logical_clock"] > 0
+        wait_rows = snap["dm_os_wait_stats"]
+        assert any(row["wait_type"] == "LATCH_EX" for row in wait_rows)
+        assert any(row["event_name"] == "statement_end"
+                   for row in snap["dm_xe_ring_buffer"])
+
+    def test_prometheus_includes_wait_histogram(self, capsys):
+        out = _run(capsys, ["--prometheus"])
+        assert 'repro_wait_time_ms_bucket{' in out
+        assert 'le="+Inf"' in out
+        assert "repro_wait_time_ms_sum" in out
+        assert "repro_xe_events_emitted" in out
+        for line in out.splitlines():
+            assert line.startswith(("#", "repro_"))
+
+    def test_watch_prints_each_round_and_history(self, capsys):
+        out = _run(capsys, ["--watch", "2"])
+        assert "=== round 1/2 ===" in out
+        assert "=== round 2/2 ===" in out
+        # Every watch round closes an interval, so the history panel of
+        # the final round shows at least two samples (two clock rows).
+        history = out.rsplit("telemetry history", 1)[1]
+        assert len(history.strip().splitlines()) >= 4
+
+    def test_events_jsonl_export(self, capsys, tmp_path):
+        path = tmp_path / "events.jsonl"
+        out = _run(capsys, ["--events-jsonl", str(path)])
+        assert f"events written to {path}" in out
+        lines = path.read_text().splitlines()
+        assert lines
+        events = [json.loads(line) for line in lines]
+        assert any(e["name"] == "statement_begin" for e in events)
+        assert all({"event_id", "timestamp", "name", "session_id",
+                    "payload"} <= set(e) for e in events)
